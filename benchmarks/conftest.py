@@ -1,0 +1,38 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each bench regenerates one of the paper's tables or figures: it runs the
+corresponding isol-bench experiment (at a documented device scale),
+prints the rows/series the paper reports, and writes the same text to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference it.
+
+The pytest-benchmark timer wraps the *whole experiment*, so
+``--benchmark-only`` runs double as a performance regression check on
+the simulator itself. Every bench uses a single round: the experiments
+are deterministic and long.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_output():
+    """Returns a writer: ``write(name, text)`` prints + persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Ablation: BFQ's slice_idle (§IV-B).
+
+The paper notes slice idling "is required for prioritization but idles
+every queue for a short while", destabilizing bandwidth and costing
+throughput for shallow-queue apps. This ablation runs the Fig. 2 BFQ
+timeline with idling on and off and reports total bandwidth and the
+bandwidth variability (coefficient of variation across 1 s buckets).
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.core.fig2 import run_fig2_panel
+from repro.core.report import render_table
+import repro.core.fig2 as fig2_module
+from repro.core.config import BfqKnob
+
+SLICE_IDLE_SETTINGS = (0.0, 2000.0)
+
+
+def _run_with_slice_idle(slice_idle_us):
+    original = fig2_module.fig2_knob
+
+    def patched(panel, ssd_scaled, device_scale):
+        knob = original(panel, ssd_scaled, device_scale)
+        if isinstance(knob, BfqKnob):
+            knob.slice_idle_us = slice_idle_us
+        return knob
+
+    fig2_module.fig2_knob = patched
+    try:
+        return run_fig2_panel("bfq-uniform", time_scale=0.2, device_scale=8.0)
+    finally:
+        fig2_module.fig2_knob = original
+
+
+def _variability(panel, app, start, stop):
+    times, values = panel.series[app]
+    window = [v for t, v in zip(times, values) if start <= t < stop and v > 0]
+    if len(window) < 2:
+        return 0.0
+    mean = statistics.mean(window)
+    return statistics.pstdev(window) / mean if mean else 0.0
+
+
+def test_bfq_slice_idle(benchmark, figure_output):
+    def experiment():
+        rows = []
+        for slice_idle in SLICE_IDLE_SETTINGS:
+            panel = _run_with_slice_idle(slice_idle)
+            total = sum(panel.mean_between(app, 30, 48) for app in "ABC")
+            cv = _variability(panel, "A", 30, 48)
+            rows.append([slice_idle / 1000.0, total, cv])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = render_table(
+        ["slice_idle ms", "total MiB/s @contention", "bandwidth CV (app A)"],
+        rows,
+        title="Ablation -- BFQ slice_idle: throughput and stability cost",
+    )
+    figure_output("ablation_bfq_slice_idle", table)
+
+    no_idle_total = rows[0][1]
+    idle_total = rows[1][1]
+    # Idling costs throughput for shallow-queue (rate-limited) apps.
+    assert idle_total < no_idle_total

@@ -1,0 +1,72 @@
+"""Ablation: io.cost.model accuracy vs achievable bandwidth.
+
+The paper observes (Fig. 5a, O3) that io.cost's configuration -- in
+particular how conservative the installed model is -- directly moves the
+bandwidth saturation point: "io.cost is restricting apps to uphold the
+model". This ablation sweeps the model conservatism from pessimistic
+(0.5x the device) through the paper's generated model (0.78x) to
+optimistic (1.3x) and reports aggregate bandwidth and fairness.
+"""
+
+from conftest import run_once
+
+from repro.cgroups.knobs import IoCostQosParams
+from repro.core.config import IoCostKnob, NoneKnob, Scenario
+from repro.core.report import render_table
+from repro.core.runner import run_scenario
+from repro.core.scenarios import fairness_specs, uniform_fairness_groups
+from repro.ssd.presets import samsung_980pro_like
+from repro.tools.iocost_coef_gen import derive_model
+
+DEVICE_SCALE = 8.0
+CONSERVATISM = (0.5, 0.78, 1.0, 1.3)
+
+
+def _run(knob):
+    groups = uniform_fairness_groups(4)
+    scenario = Scenario(
+        name="ablation-iocost-model",
+        knob=knob,
+        apps=fairness_specs(groups, apps_per_group=4, queue_depth=64),
+        ssd_model=samsung_980pro_like(),
+        cores=10,
+        duration_s=0.5,
+        warmup_s=0.15,
+        device_scale=DEVICE_SCALE,
+    )
+    result = run_scenario(scenario)
+    return result.equivalent_bandwidth_gib_s, result.fairness()
+
+
+def test_iocost_model_accuracy(benchmark, figure_output):
+    ssd = samsung_980pro_like().scaled(DEVICE_SCALE)
+
+    def experiment():
+        rows = []
+        none_bw, none_fair = _run(NoneKnob())
+        rows.append(["none", "-", none_bw, none_fair])
+        for conservatism in CONSERVATISM:
+            knob = IoCostKnob(
+                model=derive_model(ssd, conservatism=conservatism),
+                qos=IoCostQosParams(enable=True, ctrl="user"),
+            )
+            bw, fairness = _run(knob)
+            rows.append(["io.cost", f"{conservatism:.2f}x", bw, fairness])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = render_table(
+        ["knob", "model conservatism", "GiB/s (equiv)", "Jain"],
+        rows,
+        title="Ablation -- io.cost model accuracy vs achievable bandwidth",
+    )
+    figure_output("ablation_iocost_model", table)
+
+    by_model = {row[1]: row[2] for row in rows if row[0] == "io.cost"}
+    none_bw = rows[0][2]
+    # Pessimistic model halves bandwidth; optimistic model stops binding.
+    assert by_model["0.50x"] < 0.65 * none_bw
+    assert by_model["0.50x"] < by_model["0.78x"] < by_model["1.30x"] * 1.05
+    assert by_model["1.30x"] > 0.9 * none_bw
+    # Fairness holds regardless of the model.
+    assert all(row[3] > 0.97 for row in rows)

@@ -1,0 +1,67 @@
+"""Ablation: io.latency's window length and unthrottle step (O10 root cause).
+
+The paper traces io.latency's seconds-long burst response to two
+constants: the 500 ms evaluation window (one QD halving per window) and
+the +max_nr_requests/4 unthrottle step. This ablation re-runs the burst
+experiment with modified constants to confirm the mechanism: shorter
+windows shrink the response proportionally.
+"""
+
+from conftest import run_once
+
+from repro.core.d4_bursts import burst_knobs, measure_burst_response
+from repro.core.report import render_table
+from repro.iocontrol.iolatency import IoLatencyController
+from repro.ssd.presets import samsung_980pro_like
+
+DEVICE_SCALE = 16.0
+WINDOWS_MS = (100.0, 500.0, 1000.0)
+
+
+def test_iolatency_window_ablation(benchmark, figure_output):
+    ssd = samsung_980pro_like()
+    scaled = ssd.scaled(DEVICE_SCALE)
+    knob = burst_knobs(scaled, "batch", lc_target_us=100.0 * DEVICE_SCALE)["io.latency"]
+
+    def experiment():
+        rows = []
+        original = IoLatencyController.WINDOW_US
+        try:
+            for window_ms in WINDOWS_MS:
+                IoLatencyController.WINDOW_US = window_ms * 1e3
+                response = measure_burst_response(
+                    knob,
+                    "batch",
+                    burst_start_s=2.0,
+                    duration_s=9.0,
+                    ssd=ssd,
+                    device_scale=DEVICE_SCALE,
+                    bucket_ms=50.0,
+                )
+                rows.append(
+                    [
+                        window_ms,
+                        response.response_ms
+                        if response.response_ms is not None
+                        else "never",
+                        response.steady_metric,
+                    ]
+                )
+        finally:
+            IoLatencyController.WINDOW_US = original
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = render_table(
+        ["window ms", "burst response ms", "steady MiB/s"],
+        rows,
+        title="Ablation -- io.latency control-window length vs burst response",
+    )
+    figure_output("ablation_iolatency_window", table)
+
+    numeric = {
+        row[0]: row[1] for row in rows if isinstance(row[1], (int, float))
+    }
+    # The response time tracks the window length (staircase mechanism).
+    if 100.0 in numeric and 500.0 in numeric:
+        assert numeric[100.0] < numeric[500.0]

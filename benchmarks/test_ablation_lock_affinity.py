@@ -1,0 +1,67 @@
+"""Ablation: the lock-affinity skew behind scheduler unfairness (O3).
+
+The simulator models MQ-DL/BFQ fairness collapse past the CPU saturation
+point as biased dispatch-lock acquisition under deep group contention
+(see :mod:`repro.cpu.model`). This ablation toggles the mechanism off to
+show (a) it is the sole source of the collapse and (b) it leaves the
+few-group regime untouched -- the two properties the paper's data
+exhibits.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.core.d2_fairness import run_uniform_fairness
+from repro.core.report import render_table
+from repro.cpu import model as cpu_model
+
+
+def _with_sigma(sigma_overrides):
+    saved = dict(cpu_model.KNOB_PROFILES)
+    for knob, sigma in sigma_overrides.items():
+        cpu_model.KNOB_PROFILES[knob] = dataclasses.replace(
+            saved[knob], saturation_unfairness_sigma=sigma
+        )
+    return saved
+
+
+def test_lock_affinity_ablation(benchmark, figure_output):
+    def experiment():
+        rows = []
+        for label, overrides in (
+            ("modelled", {}),
+            ("disabled", {"mq-deadline": 0.0, "bfq": 0.0}),
+        ):
+            saved = _with_sigma(overrides)
+            try:
+                for point in run_uniform_fairness(
+                    group_counts=(4, 16),
+                    knob_names=("mq-deadline", "bfq"),
+                    duration_s=0.4,
+                    warmup_s=0.12,
+                ):
+                    rows.append([label, point.knob, point.n_groups, point.fairness])
+            finally:
+                cpu_model.KNOB_PROFILES.clear()
+                cpu_model.KNOB_PROFILES.update(saved)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = render_table(
+        ["affinity skew", "knob", "groups", "Jain"],
+        rows,
+        title="Ablation -- dispatch-lock affinity skew vs scheduler fairness",
+    )
+    figure_output("ablation_lock_affinity", table)
+
+    def fairness(label, knob, groups):
+        return next(r[3] for r in rows if r[:3] == [label, knob, groups])
+
+    # With the mechanism on: collapse at 16 groups, none at 4.
+    assert fairness("modelled", "mq-deadline", 16) < 0.9
+    assert fairness("modelled", "mq-deadline", 4) > 0.97
+    # With it off, the collapse disappears (BFQ keeps a small residual
+    # wobble from slice-granular virtual-time clamping).
+    assert fairness("disabled", "mq-deadline", 16) > 0.97
+    assert fairness("disabled", "bfq", 16) > 0.90

@@ -1,0 +1,65 @@
+"""Fig. 2: per-knob three-app bandwidth timelines (8 panels).
+
+Regenerates the illustrative examples of §IV-B: three rate-limited
+64 KiB QD=8 apps on the staggered A/B/C schedule under each knob.
+Output: one bandwidth series per app per panel plus the contention-window
+summary (A/B/C means during full contention, B's level after A stops).
+
+Scale: device 1/8, timeline x0.5 (io.latency's 500 ms window is a kernel
+constant, so the timeline is kept long enough for its dynamics).
+"""
+
+from conftest import run_once
+
+from repro.core.fig2 import FIG2_PANELS, run_fig2
+from repro.core.report import render_table
+
+TIME_SCALE = 0.5
+DEVICE_SCALE = 8.0
+
+CONTENTION = (30, 48)
+AFTER_A = (55, 68)
+
+
+def test_fig2_all_panels(benchmark, figure_output):
+    panels = run_once(
+        benchmark,
+        lambda: run_fig2(FIG2_PANELS, time_scale=TIME_SCALE, device_scale=DEVICE_SCALE),
+    )
+    rows = []
+    for name in FIG2_PANELS:
+        panel = panels[name]
+        rows.append(
+            [
+                name,
+                panel.mean_between("A", *CONTENTION),
+                panel.mean_between("B", *CONTENTION),
+                panel.mean_between("C", *CONTENTION),
+                panel.mean_between("B", *AFTER_A),
+            ]
+        )
+    table = render_table(
+        ["panel", "A@contention MiB/s", "B@contention", "C@contention", "B after A stops"],
+        rows,
+        title=(
+            "Fig. 2 -- three-app timelines per knob "
+            f"(timeline x{TIME_SCALE}, device 1/{DEVICE_SCALE:g}, "
+            "equivalent full-speed MiB/s)"
+        ),
+    )
+    series_lines = ["", "Raw series (paper-seconds -> MiB/s):"]
+    for name in FIG2_PANELS:
+        panel = panels[name]
+        for app in ("A", "B", "C"):
+            xs, ys = panel.series[app]
+            points = " ".join(f"{x:.0f}:{y:.0f}" for x, y in zip(xs, ys))
+            series_lines.append(f"  [{name}] {app}: {points}")
+    figure_output("fig2_knob_examples", table + "\n" + "\n".join(series_lines))
+
+    # Shape guards (the paper's qualitative claims).
+    mq = panels["mq-deadline"]
+    assert mq.mean_between("A", *CONTENTION) > 50 * mq.mean_between("C", *CONTENTION)
+    iomax = panels["io.max"]
+    assert iomax.mean_between("B", *AFTER_A) < 1100  # static cap persists
+    iolat = panels["io.latency"]
+    assert iolat.mean_between("B", *AFTER_A) < 1000  # use_delay blocks recovery

@@ -1,0 +1,58 @@
+"""Fig. 3: cgroups latency and CPU overhead, 1-256 LC-apps on one core.
+
+Regenerates: (a-c) latency CDFs at 1/16/256 apps with P99 annotations,
+(d) single-core CPU utilization vs app count, and the §V perf profile
+rows (context switches and cycles per I/O at 16 apps).
+
+Runs unscaled (latency study); runtimes are kept sane with short
+measured windows.
+"""
+
+from conftest import run_once
+
+from repro.core.d1_overhead import run_lc_overhead
+from repro.core.report import render_table
+
+APP_COUNTS = (1, 2, 4, 8, 16, 64, 256)
+CDF_AT = (1, 16, 256)
+
+
+def test_fig3_lc_overhead(benchmark, figure_output):
+    study = run_once(
+        benchmark,
+        lambda: run_lc_overhead(
+            app_counts=APP_COUNTS,
+            duration_s=0.35,
+            warmup_s=0.1,
+            collect_cdf_for=CDF_AT,
+            cdf_points=40,
+        ),
+    )
+    rows = [
+        [
+            p.knob,
+            p.n_apps,
+            p.p99_us,
+            p.p50_us,
+            p.cpu_utilization * 100.0,
+            p.ctx_switches_per_io,
+            p.cycles_per_io / 1000.0,
+        ]
+        for p in study.points
+    ]
+    table = render_table(
+        ["knob", "apps", "P99 us", "P50 us", "cpu %", "ctx/io", "Kcycles/io"],
+        rows,
+        title="Fig. 3 -- LC-app scaling on one core (unscaled device)",
+    )
+    cdf_lines = ["", "CDF data (latency_us:cum_prob):"]
+    for (knob, n_apps), (values, probs) in sorted(study.cdfs.items()):
+        points = " ".join(f"{v:.0f}:{p:.3f}" for v, p in zip(values, probs))
+        cdf_lines.append(f"  [{knob} x{n_apps}] {points}")
+    figure_output("fig3_latency_overhead", table + "\n" + "\n".join(cdf_lines))
+
+    # Shape guards: O1.
+    assert study.p99("bfq", 1) > study.p99("none", 1)
+    assert study.p99("io.cost", 16) > 1.2 * study.p99("none", 16)
+    assert study.p99("io.max", 16) < 1.1 * study.p99("none", 16)
+    assert study.utilization("bfq", 16) >= 0.99

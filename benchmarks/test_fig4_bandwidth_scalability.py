@@ -1,0 +1,57 @@
+"""Fig. 4: bandwidth and CPU scalability, 1-17 batch apps on 1 and 7 SSDs.
+
+Regenerates the aggregated-bandwidth and CPU-utilization curves of §V-Q2
+at device scale 1/8 (pure time dilation; reported numbers are full-speed
+equivalents).
+"""
+
+from conftest import run_once
+
+from repro.core.d1_overhead import peak_bandwidth, run_bandwidth_scaling
+from repro.core.report import render_table
+
+APP_COUNTS = (1, 2, 4, 8, 12, 17)
+DEVICE_COUNTS = (1, 7)
+DEVICE_SCALE = 8.0
+
+
+def test_fig4_bandwidth_scaling(benchmark, figure_output):
+    points = run_once(
+        benchmark,
+        lambda: run_bandwidth_scaling(
+            app_counts=APP_COUNTS,
+            device_counts=DEVICE_COUNTS,
+            duration_s=0.25,
+            warmup_s=0.08,
+            device_scale=DEVICE_SCALE,
+        ),
+    )
+    rows = [
+        [p.knob, p.n_devices, p.n_apps, p.bandwidth_gib_s, p.cpu_utilization * 100.0]
+        for p in points
+    ]
+    table = render_table(
+        ["knob", "SSDs", "apps", "GiB/s (equiv)", "cpu %"],
+        rows,
+        title=f"Fig. 4 -- batch-app scaling (device 1/{DEVICE_SCALE:g}, 10 cores)",
+    )
+    peaks = [
+        [knob, n, peak_bandwidth(points, knob, n)]
+        for n in DEVICE_COUNTS
+        for knob in ("none", "mq-deadline", "bfq", "io.max", "io.latency", "io.cost")
+    ]
+    peak_table = render_table(
+        ["knob", "SSDs", "peak GiB/s"],
+        peaks,
+        title="Peaks (paper: none 2.94/9.87, MQ-DL 1.81/4.24, BFQ 0.69/2.14, "
+        "io.max -/8.94, io.cost -/9.32)",
+    )
+    figure_output("fig4_bandwidth_scalability", table + "\n\n" + peak_table)
+
+    # Shape guards: O2.
+    none_1 = peak_bandwidth(points, "none", 1)
+    assert peak_bandwidth(points, "mq-deadline", 1) < 0.75 * none_1
+    assert peak_bandwidth(points, "bfq", 1) < 0.35 * none_1
+    none_7 = peak_bandwidth(points, "none", 7)
+    assert none_7 > 2.5 * none_1  # multi-SSD scaling
+    assert peak_bandwidth(points, "io.cost", 7) < none_7  # slight decrement

@@ -1,0 +1,73 @@
+"""Fig. 5: weighted-Jain fairness scalability.
+
+Regenerates: (a) uniform weights while scaling 2-16 cgroups (with the
+aggregated-bandwidth line), (b) the 16-group point past CPU saturation,
+(c/d) linearly increasing weights at 2 and 16 groups.
+"""
+
+from conftest import run_once
+
+from repro.core.d2_fairness import run_uniform_fairness, run_weighted_fairness
+from repro.core.report import render_table
+
+DEVICE_SCALE = 8.0
+
+
+def _rows(points):
+    return [
+        [p.experiment, p.knob, p.n_groups, p.fairness, p.aggregate_bandwidth_gib_s]
+        for p in points
+    ]
+
+
+def test_fig5_fairness(benchmark, figure_output):
+    def experiment():
+        uniform = run_uniform_fairness(
+            group_counts=(2, 4, 8, 16),
+            duration_s=0.5,
+            warmup_s=0.15,
+            device_scale=DEVICE_SCALE,
+        )
+        weighted = run_weighted_fairness(
+            group_counts=(2, 16),
+            duration_s=4.0,
+            warmup_s=2.0,
+            device_scale=DEVICE_SCALE,
+        )
+        return uniform, weighted
+
+    uniform, weighted = run_once(benchmark, experiment)
+    table = render_table(
+        ["experiment", "knob", "groups", "Jain", "GiB/s (equiv)"],
+        _rows(uniform) + _rows(weighted),
+        title=f"Fig. 5 -- fairness scalability (device 1/{DEVICE_SCALE:g})",
+    )
+    figure_output("fig5_fairness_scalability", table)
+
+    uniform16 = {p.knob: p.fairness for p in uniform if p.n_groups == 16}
+    uniform4 = {p.knob: p.fairness for p in uniform if p.n_groups == 4}
+    weighted2 = {p.knob: p.fairness for p in weighted if p.n_groups == 2}
+
+    # O3: all fair before CPU saturation; schedulers collapse past it.
+    assert all(f > 0.97 for f in uniform4.values())
+    assert uniform16["mq-deadline"] < 0.9
+    assert uniform16["bfq"] < uniform16["none"]
+    # io.cost pays bandwidth for its model (Fig. 5a): visibly below none.
+    iocost_bw = next(
+        p.aggregate_bandwidth_gib_s
+        for p in uniform
+        if p.knob == "io.cost" and p.n_groups == 4
+    )
+    none_bw = next(
+        p.aggregate_bandwidth_gib_s
+        for p in uniform
+        if p.knob == "none" and p.n_groups == 4
+    )
+    assert iocost_bw < 0.75 * none_bw
+    # O4: io.cost, io.max, BFQ enable weighted fairness; io.latency and
+    # MQ-DL make it worse than no weights at all.
+    assert weighted2["io.cost"] > 0.95
+    assert weighted2["io.max"] > 0.95
+    assert weighted2["bfq"] > 0.95
+    assert weighted2["mq-deadline"] < weighted2["none"]
+    assert weighted2["io.latency"] < weighted2["none"] + 0.02

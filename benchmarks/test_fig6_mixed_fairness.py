@@ -1,0 +1,63 @@
+"""Fig. 6: fairness under mixed workloads (2 cgroups x 4 batch apps).
+
+Regenerates: (a) 4 KiB vs 256 KiB request sizes, (b) random read vs
+random write (read/write interference + GC on a preconditioned drive),
+plus the access-pattern case the paper describes but does not plot.
+"""
+
+from conftest import run_once
+
+from repro.core.d2_fairness import run_mixed_workload_fairness
+from repro.core.report import render_table
+
+DEVICE_SCALE = 8.0
+
+
+def test_fig6_mixed_workloads(benchmark, figure_output):
+    def experiment():
+        return {
+            case: run_mixed_workload_fairness(
+                case,
+                duration_s=0.6,
+                warmup_s=0.2,
+                device_scale=DEVICE_SCALE,
+            )
+            for case in ("sizes", "patterns", "readwrite")
+        }
+
+    cases = run_once(benchmark, experiment)
+    rows = []
+    for case, points in cases.items():
+        for p in points:
+            per_group = ", ".join(
+                f"{path.rsplit('/', 1)[-1]}={mib:.0f}MiB/s"
+                for path, mib in sorted(p.per_group_mib_s.items())
+            )
+            rows.append([case, p.knob, p.fairness, p.aggregate_bandwidth_gib_s, per_group])
+    table = render_table(
+        ["case", "knob", "Jain", "GiB/s (equiv)", "per-group"],
+        rows,
+        title=f"Fig. 6 -- mixed-workload fairness (device 1/{DEVICE_SCALE:g})",
+    )
+    figure_output("fig6_mixed_fairness", table)
+
+    sizes = {p.knob: p for p in cases["sizes"]}
+    patterns = {p.knob: p for p in cases["patterns"]}
+    rw = {p.knob: p for p in cases["readwrite"]}
+
+    # O5 shape guards.
+    assert sizes["io.max"].fairness > 0.9
+    assert sizes["io.cost"].fairness > 0.9
+    assert sizes["none"].fairness < 0.6
+    assert sizes["io.latency"].fairness < 0.6
+    assert all(p.fairness > 0.9 for p in patterns.values())
+    # Writes collapse aggregate bandwidth (GC) for every knob.
+    for knob, p in rw.items():
+        assert (
+            p.aggregate_bandwidth_gib_s < 0.5 * sizes["none"].aggregate_bandwidth_gib_s
+        ), knob
+    # io.cost's write-cost asymmetry favours readers.
+    assert (
+        rw["io.cost"].per_group_mib_s["/tenants/readers"]
+        > rw["io.cost"].per_group_mib_s["/tenants/writers"]
+    )

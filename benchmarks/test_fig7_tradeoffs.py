@@ -1,0 +1,90 @@
+"""Fig. 7: prioritization/utilization Pareto fronts (8 panels).
+
+Regenerates the trade-off study of §VI-B: a priority batch app (top row)
+or LC-app (bottom row) against four saturating BE apps, sweeping each
+knob's configuration space; BE-workload variants exercise request sizes
+and writes. Output: all sweep points plus each knob's Pareto front.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.core.d3_tradeoffs import sweep_knob, unprotected_baseline
+from repro.core.pareto import pareto_front
+from repro.core.report import render_table
+
+DEVICE_SCALE = 8.0
+SWEEP_POINTS = 6
+KNOBS = ("mq-deadline", "bfq", "io.latency", "io.max", "io.cost")
+BE_VARIANTS = ("rand-4k", "rand-256k", "rand-4k-write")
+
+
+def _duration(knob):
+    # io.latency needs to traverse its QD staircase (10 x 500 ms windows).
+    return 8.0 if knob == "io.latency" else 0.5
+
+
+def test_fig7_tradeoffs(benchmark, figure_output):
+    def experiment():
+        out = {}
+        for kind in ("batch", "lc"):
+            base = unprotected_baseline(
+                kind, duration_s=0.5, warmup_s=0.15, device_scale=DEVICE_SCALE
+            )
+            out[("baseline", kind, "rand-4k")] = [base]
+            for knob in KNOBS:
+                variants = BE_VARIANTS if knob != "mq-deadline" else ("rand-4k",)
+                for variant in variants:
+                    out[(knob, kind, variant)] = sweep_knob(
+                        knob,
+                        kind,
+                        be_variant=variant,
+                        duration_s=_duration(knob),
+                        warmup_s=_duration(knob) * 0.35,
+                        device_scale=DEVICE_SCALE,
+                        sweep_points=SWEEP_POINTS,
+                        baseline_p99_us=base.priority_metric if kind == "lc" else None,
+                    )
+        return out
+
+    sweeps = run_once(benchmark, experiment)
+    rows = []
+    for (knob, kind, variant), points in sorted(sweeps.items()):
+        front = set(id(p) for p in pareto_front(points))
+        for p in points:
+            metric_name = "prio MiB/s" if kind == "batch" else "prio P99 us"
+            rows.append(
+                [
+                    knob,
+                    kind,
+                    variant,
+                    p.config_label,
+                    p.aggregate_gib_s,
+                    p.priority_metric if not math.isinf(p.priority_metric) else -1.0,
+                    "front" if id(p) in front else "",
+                ]
+            )
+    table = render_table(
+        ["knob", "prio-kind", "BE variant", "config", "agg GiB/s", "prio metric", ""],
+        rows,
+        title=(
+            "Fig. 7 -- priority/utilization trade-offs "
+            f"(device 1/{DEVICE_SCALE:g}; latency metrics are full-speed equivalents)"
+        ),
+    )
+    figure_output("fig7_tradeoffs", table)
+
+    # Shape guards: O6-O9.
+    iocost_batch = sweeps[("io.cost", "batch", "rand-4k")]
+    aggs = [p.aggregate_gib_s for p in iocost_batch]
+    prios = [p.priority_metric for p in iocost_batch]
+    assert max(aggs) > 2 * min(aggs)  # utilization dial works
+    assert sorted(prios)[1] > 0.4 * max(prios)  # priority protected
+
+    iomax_batch = sweeps[("io.max", "batch", "rand-4k")]
+    assert len(pareto_front(iomax_batch)) >= 4
+
+    lc_iocost = sweeps[("io.cost", "lc", "rand-4k")]
+    baseline_lc = sweeps[("baseline", "lc", "rand-4k")][0]
+    assert min(p.priority_metric for p in lc_iocost) < 0.2 * baseline_lc.priority_metric

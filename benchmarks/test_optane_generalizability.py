@@ -1,0 +1,58 @@
+"""Generalizability: repeat key experiments on the Optane-like device.
+
+The paper re-runs its experiments on an Intel Optane SSD ("a different
+SSD performance model") to confirm the conclusions are not flash
+artifacts. This bench repeats the bandwidth-scalability and weighted
+fairness experiments on the Optane preset and checks the same winners.
+"""
+
+from conftest import run_once
+
+from repro.core.d1_overhead import peak_bandwidth, run_bandwidth_scaling
+from repro.core.d2_fairness import run_weighted_fairness
+from repro.core.report import render_table
+from repro.ssd.presets import intel_optane_like
+
+DEVICE_SCALE = 8.0
+
+
+def test_optane_generalizability(benchmark, figure_output):
+    ssd = intel_optane_like()
+
+    def experiment():
+        bw = run_bandwidth_scaling(
+            app_counts=(4, 17),
+            device_counts=(1,),
+            ssd=ssd,
+            duration_s=0.25,
+            warmup_s=0.08,
+            device_scale=DEVICE_SCALE,
+        )
+        fair = run_weighted_fairness(
+            group_counts=(2,),
+            ssd=ssd,
+            duration_s=0.4,
+            warmup_s=0.12,
+            device_scale=DEVICE_SCALE,
+        )
+        return bw, fair
+
+    bw, fair = run_once(benchmark, experiment)
+    rows = [
+        ["bandwidth", p.knob, f"{p.n_apps} apps", p.bandwidth_gib_s] for p in bw
+    ] + [["weighted-fairness", p.knob, f"{p.n_groups} groups", p.fairness] for p in fair]
+    table = render_table(
+        ["experiment", "knob", "setting", "value"],
+        rows,
+        title="Generalizability -- Optane-like SSD (no GC, ~10us media)",
+    )
+    figure_output("optane_generalizability", table)
+
+    # Same winners as on flash: schedulers cap bandwidth; io.cost/io.max
+    # provide weighted fairness.
+    none_peak = peak_bandwidth(bw, "none", 1)
+    assert peak_bandwidth(bw, "bfq", 1) < 0.5 * none_peak
+    fairness = {p.knob: p.fairness for p in fair}
+    assert fairness["io.cost"] > 0.95
+    assert fairness["io.max"] > 0.95
+    assert fairness["mq-deadline"] < fairness["none"]

@@ -1,0 +1,67 @@
+"""§VI-C / O10: response time to high-priority bursts.
+
+Regenerates the burst study: a BE app saturates the device, the priority
+app (batch and LC) arrives mid-run, and the time until it reaches its
+steady objective is measured per knob. The paper's headline numbers:
+io.cost / io.max / the schedulers respond within milliseconds, io.latency
+takes seconds (QD staircase: 1024 -> 1 at one halving per 500 ms window).
+"""
+
+from conftest import run_once
+
+from repro.core.d4_bursts import burst_knobs, measure_burst_response
+from repro.core.report import render_table
+from repro.ssd.presets import samsung_980pro_like
+
+DEVICE_SCALE = 16.0
+KNOBS = ("mq-deadline", "bfq", "io.max", "io.latency", "io.cost")
+
+
+def test_q10_burst_response(benchmark, figure_output):
+    ssd = samsung_980pro_like()
+    scaled = ssd.scaled(DEVICE_SCALE)
+
+    def experiment():
+        responses = {}
+        for kind in ("batch", "lc"):
+            knobs = burst_knobs(scaled, kind, lc_target_us=100.0 * DEVICE_SCALE)
+            for knob_name in KNOBS:
+                responses[(knob_name, kind)] = measure_burst_response(
+                    knobs[knob_name],
+                    kind,
+                    burst_start_s=2.0,
+                    duration_s=9.0,
+                    ssd=ssd,
+                    device_scale=DEVICE_SCALE,
+                    bucket_ms=50.0,
+                )
+        return responses
+
+    responses = run_once(benchmark, experiment)
+    rows = [
+        [
+            knob,
+            kind,
+            r.response_ms if r.response_ms is not None else "never",
+            r.steady_metric,
+        ]
+        for (knob, kind), r in sorted(responses.items())
+    ]
+    table = render_table(
+        ["knob", "priority kind", "response ms", "steady metric"],
+        rows,
+        title=(
+            "Q10 -- burst response time "
+            f"(device 1/{DEVICE_SCALE:g}; paper: ms for io.cost/io.max/"
+            "schedulers, seconds for io.latency)"
+        ),
+    )
+    figure_output("q10_burst_response", table)
+
+    # O10 shape guards (batch priority, the paper's headline case).
+    for fast in ("io.max", "io.cost", "mq-deadline"):
+        response = responses[(fast, "batch")]
+        assert response.reached, fast
+        assert response.response_ms <= 300.0, fast
+    slow = responses[("io.latency", "batch")]
+    assert slow.response_ms is None or slow.response_ms > 1000.0

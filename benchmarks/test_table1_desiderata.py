@@ -1,0 +1,47 @@
+"""Table I: the paper's headline desiderata matrix.
+
+Runs reduced versions of every D1-D4 sub-benchmark, scores each knob on
+the four desiderata (yes / partial / no) and compares cell-by-cell with
+the published Table I.
+"""
+
+from conftest import run_once
+
+from repro.core.table_one import TableOneSettings, evaluate_table_one
+
+
+def test_table1(benchmark, figure_output):
+    settings = TableOneSettings(
+        duration_s=0.35,
+        warmup_s=0.1,
+        fairness_duration_s=0.5,
+        iolatency_duration_s=8.0,
+        burst_duration_s=8.0,
+        device_scale=8.0,
+        burst_device_scale=16.0,
+        sweep_points=5,
+    )
+    table = run_once(benchmark, lambda: evaluate_table_one(settings))
+    matches = table.matches_paper()
+    total = sum(matches.values())
+    text = (
+        table.render()
+        + "\n\ncells matching the paper's Table I: "
+        + f"{total}/{4 * len(matches)}  ({matches})"
+    )
+    figure_output("table1_desiderata", text)
+
+    # The headline conclusion must reproduce: io.cost achieves the most
+    # desiderata; the schedulers achieve none.
+    by_knob = {row.knob: row for row in table.rows}
+    yes_counts = {
+        knob: sum(1 for cell in row.cells() if cell.symbol == "v")
+        for knob, row in by_knob.items()
+    }
+    assert yes_counts["io.cost"] >= max(
+        count for knob, count in yes_counts.items() if knob != "io.cost"
+    )
+    assert all(cell.symbol == "x" for cell in by_knob["mq-deadline"].cells())
+    assert all(cell.symbol == "x" for cell in by_knob["bfq"].cells())
+    # Overall agreement with the published table.
+    assert total >= 15  # out of 20 cells

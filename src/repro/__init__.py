@@ -1,0 +1,57 @@
+"""isol-bench: storage performance isolation benchmarking (reproduction).
+
+Reproduction of "Does Linux Provide Performance Isolation for NVMe SSDs?
+Configuring cgroups for I/O Control in the NVMe Era" (IISWC 2025) as a
+self-contained simulation: an NVMe SSD model, the Linux cgroup v2 I/O
+control mechanisms, a fio-like workload generator, and the isol-bench
+benchmark suite evaluating four isolation desiderata (overhead,
+proportional fairness, priority/utilization trade-offs, burst support).
+
+Quickstart::
+
+    from repro import Scenario, NoneKnob, run_scenario
+    from repro.workloads import batch_app
+
+    scenario = Scenario(
+        name="hello",
+        knob=NoneKnob(),
+        apps=[batch_app("tenant-a", "/tenants/a")],
+        duration_s=0.5,
+    )
+    print(run_scenario(scenario).describe())
+"""
+
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    KnobConfig,
+    MqDeadlineKnob,
+    NoneKnob,
+    Scenario,
+)
+from repro.core.runner import ScenarioResult, run_scenario
+from repro.iorequest import GIB, KIB, MIB, IoRequest, OpType, Pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scenario",
+    "KnobConfig",
+    "NoneKnob",
+    "MqDeadlineKnob",
+    "BfqKnob",
+    "IoMaxKnob",
+    "IoLatencyKnob",
+    "IoCostKnob",
+    "ScenarioResult",
+    "run_scenario",
+    "IoRequest",
+    "OpType",
+    "Pattern",
+    "KIB",
+    "MIB",
+    "GIB",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""cgroup v2 substrate.
+
+A faithful, in-memory re-implementation of the parts of the cgroup v2
+filesystem the paper exercises: the hierarchy with management vs process
+groups (the "no internal processes" rule), ``cgroup.subtree_control``
+delegation, and string-typed knob files for all five I/O controllers
+(``io.weight``, ``io.bfq.weight``, ``io.prio.class``, ``io.max``,
+``io.latency``, ``io.cost.model``, ``io.cost.qos``).
+
+isol-bench scenarios configure knobs by *writing strings* to these files,
+exactly like a practitioner writing to sysfs, and the I/O controllers in
+:mod:`repro.iocontrol` read their configuration back out of the tree.
+"""
+
+from repro.cgroups.errors import CgroupError, DelegationError, InvalidKnobValue
+from repro.cgroups.hierarchy import Cgroup, CgroupHierarchy
+
+__all__ = [
+    "Cgroup",
+    "CgroupHierarchy",
+    "CgroupError",
+    "DelegationError",
+    "InvalidKnobValue",
+]

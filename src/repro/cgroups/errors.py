@@ -1,0 +1,24 @@
+"""cgroup substrate error types.
+
+Mirrors the errno-style failures the real cgroup filesystem produces:
+``EINVAL`` for malformed knob writes (:class:`InvalidKnobValue`),
+``EBUSY``/``ENOTSUP`` for hierarchy rule violations
+(:class:`DelegationError`), with :class:`CgroupError` as the common base.
+"""
+
+
+class CgroupError(Exception):
+    """Base class for all cgroup substrate errors."""
+
+
+class DelegationError(CgroupError):
+    """A hierarchy rule was violated.
+
+    Examples: adding a process to a management group ("no internal
+    processes"), enabling a controller below a group that does not
+    delegate it, or writing a root-only knob (io.cost.*) elsewhere.
+    """
+
+
+class InvalidKnobValue(CgroupError):
+    """A knob file write did not parse or was out of range (EINVAL)."""

@@ -1,0 +1,341 @@
+"""Knob file formats: parsing and validation.
+
+Each knob file accepts the same line format the kernel does. Per-device
+knobs (io.max, io.latency, io.cost.*) take lines of
+``MAJ:MIN key=value ...`` and merge per device across writes; group-level
+knobs (io.weight, io.bfq.weight, io.prio.class) take a single token.
+
+Out-of-range and malformed writes raise
+:class:`~repro.cgroups.errors.InvalidKnobValue`, mirroring EINVAL.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+from dataclasses import dataclass, replace
+
+from repro.cgroups.errors import InvalidKnobValue
+
+_DEVICE_RE = re.compile(r"^(\d+):(\d+)$")
+
+IO_WEIGHT_MIN, IO_WEIGHT_MAX, IO_WEIGHT_DEFAULT = 1, 10000, 100
+BFQ_WEIGHT_MIN, BFQ_WEIGHT_MAX, BFQ_WEIGHT_DEFAULT = 1, 1000, 100
+
+
+class PrioClass(enum.IntEnum):
+    """I/O scheduling class hints (ioprio classes).
+
+    Lower numeric value = higher dispatch priority in MQ-Deadline's
+    per-class queues; ``NONE`` falls back to best-effort.
+    """
+
+    NONE = 0
+    REALTIME = 1
+    BEST_EFFORT = 2
+    IDLE = 3
+
+
+_PRIO_ALIASES = {
+    "no-change": PrioClass.NONE,
+    "none": PrioClass.NONE,
+    "promote-to-rt": PrioClass.REALTIME,
+    "realtime": PrioClass.REALTIME,
+    "rt": PrioClass.REALTIME,
+    "restrict-to-be": PrioClass.BEST_EFFORT,
+    "best-effort": PrioClass.BEST_EFFORT,
+    "be": PrioClass.BEST_EFFORT,
+    "idle": PrioClass.IDLE,
+}
+
+
+def parse_device_id(token: str) -> str:
+    """Validate and normalize a ``MAJ:MIN`` device id."""
+    match = _DEVICE_RE.match(token)
+    if not match:
+        raise InvalidKnobValue(f"expected MAJ:MIN device id, got {token!r}")
+    return f"{int(match.group(1))}:{int(match.group(2))}"
+
+
+def _parse_limit(value: str, knob: str, key: str) -> float:
+    """Parse an integer limit or the literal ``max`` (no limit)."""
+    if value == "max":
+        return math.inf
+    try:
+        number = int(value)
+    except ValueError:
+        raise InvalidKnobValue(f"{knob}: {key}={value!r} is not an integer or 'max'") from None
+    if number <= 0:
+        raise InvalidKnobValue(f"{knob}: {key} must be positive, got {number}")
+    return float(number)
+
+
+def _split_kv(parts: list[str], knob: str) -> dict[str, str]:
+    pairs: dict[str, str] = {}
+    for part in parts:
+        if "=" not in part:
+            raise InvalidKnobValue(f"{knob}: expected key=value, got {part!r}")
+        key, _, value = part.partition("=")
+        pairs[key] = value
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Group-level knobs
+# ----------------------------------------------------------------------
+def parse_io_weight(raw: str) -> int:
+    """``io.weight``: '100' or 'default 100', range 1-10000."""
+    tokens = raw.split()
+    if len(tokens) == 2 and tokens[0] == "default":
+        tokens = tokens[1:]
+    if len(tokens) != 1:
+        raise InvalidKnobValue(f"io.weight: cannot parse {raw!r}")
+    try:
+        weight = int(tokens[0])
+    except ValueError:
+        raise InvalidKnobValue(f"io.weight: {tokens[0]!r} is not an integer") from None
+    if not IO_WEIGHT_MIN <= weight <= IO_WEIGHT_MAX:
+        raise InvalidKnobValue(
+            f"io.weight: {weight} outside [{IO_WEIGHT_MIN}, {IO_WEIGHT_MAX}]"
+        )
+    return weight
+
+
+def parse_bfq_weight(raw: str) -> int:
+    """``io.bfq.weight``: absolute weight, range 1-1000."""
+    tokens = raw.split()
+    if len(tokens) == 2 and tokens[0] == "default":
+        tokens = tokens[1:]
+    if len(tokens) != 1:
+        raise InvalidKnobValue(f"io.bfq.weight: cannot parse {raw!r}")
+    try:
+        weight = int(tokens[0])
+    except ValueError:
+        raise InvalidKnobValue(f"io.bfq.weight: {tokens[0]!r} is not an integer") from None
+    if not BFQ_WEIGHT_MIN <= weight <= BFQ_WEIGHT_MAX:
+        raise InvalidKnobValue(
+            f"io.bfq.weight: {weight} outside [{BFQ_WEIGHT_MIN}, {BFQ_WEIGHT_MAX}]"
+        )
+    return weight
+
+
+def parse_prio_class(raw: str) -> PrioClass:
+    """``io.prio.class``: a scheduling-class alias."""
+    token = raw.strip().lower()
+    if token not in _PRIO_ALIASES:
+        raise InvalidKnobValue(
+            f"io.prio.class: unknown class {raw!r}; options: {sorted(_PRIO_ALIASES)}"
+        )
+    return _PRIO_ALIASES[token]
+
+
+# ----------------------------------------------------------------------
+# io.max
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IoMaxLimits:
+    """Per-device io.max limits; ``inf`` means unlimited."""
+
+    rbps: float = math.inf
+    wbps: float = math.inf
+    riops: float = math.inf
+    wiops: float = math.inf
+
+    def is_unlimited(self) -> bool:
+        return all(
+            math.isinf(v) for v in (self.rbps, self.wbps, self.riops, self.wiops)
+        )
+
+
+def parse_io_max_line(raw: str) -> tuple[str, IoMaxLimits]:
+    """Parse one ``io.max`` line into (device, limits)."""
+    tokens = raw.split()
+    if not tokens:
+        raise InvalidKnobValue("io.max: empty write")
+    device = parse_device_id(tokens[0])
+    pairs = _split_kv(tokens[1:], "io.max")
+    allowed = {"rbps", "wbps", "riops", "wiops"}
+    unknown = set(pairs) - allowed
+    if unknown:
+        raise InvalidKnobValue(f"io.max: unknown keys {sorted(unknown)}")
+    limits = IoMaxLimits(
+        **{key: _parse_limit(value, "io.max", key) for key, value in pairs.items()}
+    )
+    return device, limits
+
+
+# ----------------------------------------------------------------------
+# io.latency
+# ----------------------------------------------------------------------
+def parse_io_latency_line(raw: str) -> tuple[str, float]:
+    """Parse one ``io.latency`` line into (device, target_us)."""
+    tokens = raw.split()
+    if not tokens:
+        raise InvalidKnobValue("io.latency: empty write")
+    device = parse_device_id(tokens[0])
+    pairs = _split_kv(tokens[1:], "io.latency")
+    if set(pairs) != {"target"}:
+        raise InvalidKnobValue(f"io.latency: expected exactly target=, got {raw!r}")
+    try:
+        target = float(pairs["target"])
+    except ValueError:
+        raise InvalidKnobValue(f"io.latency: target={pairs['target']!r} not a number") from None
+    if target <= 0:
+        raise InvalidKnobValue(f"io.latency: target must be positive, got {target}")
+    return device, target
+
+
+# ----------------------------------------------------------------------
+# io.cost.qos / io.cost.model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IoCostQosParams:
+    """Per-device io.cost.qos parameters (§IV-B).
+
+    ``rpct/rlat`` and ``wpct/wlat`` define the congestion signal (read and
+    write latency percentile targets, us); ``min``/``max`` bound the vrate
+    scaling window in percent of the model speed.
+    """
+
+    enable: bool = False
+    ctrl: str = "auto"
+    rpct: float = 95.0
+    rlat_us: float = 0.0
+    wpct: float = 95.0
+    wlat_us: float = 0.0
+    vrate_min_pct: float = 25.0
+    vrate_max_pct: float = 100.0
+
+    def validate(self) -> "IoCostQosParams":
+        for pct_name in ("rpct", "wpct"):
+            pct = getattr(self, pct_name)
+            if not 0.0 <= pct <= 100.0:
+                raise InvalidKnobValue(f"io.cost.qos: {pct_name} must be in [0,100], got {pct}")
+        if self.vrate_min_pct <= 0 or self.vrate_max_pct <= 0:
+            raise InvalidKnobValue("io.cost.qos: min/max must be positive")
+        if self.vrate_min_pct > self.vrate_max_pct:
+            raise InvalidKnobValue(
+                f"io.cost.qos: min={self.vrate_min_pct} > max={self.vrate_max_pct}"
+            )
+        if self.ctrl not in ("auto", "user"):
+            raise InvalidKnobValue(f"io.cost.qos: ctrl must be auto|user, got {self.ctrl!r}")
+        return self
+
+
+def parse_io_cost_qos_line(raw: str) -> tuple[str, IoCostQosParams]:
+    """Parse one ``io.cost.qos`` line."""
+    tokens = raw.split()
+    if not tokens:
+        raise InvalidKnobValue("io.cost.qos: empty write")
+    device = parse_device_id(tokens[0])
+    pairs = _split_kv(tokens[1:], "io.cost.qos")
+    params = IoCostQosParams()
+    mapping = {
+        "rpct": "rpct",
+        "rlat": "rlat_us",
+        "wpct": "wpct",
+        "wlat": "wlat_us",
+        "min": "vrate_min_pct",
+        "max": "vrate_max_pct",
+    }
+    for key, value in pairs.items():
+        if key == "enable":
+            params = replace(params, enable=value not in ("0", "false"))
+        elif key == "ctrl":
+            params = replace(params, ctrl=value)
+        elif key in mapping:
+            try:
+                params = replace(params, **{mapping[key]: float(value)})
+            except ValueError:
+                raise InvalidKnobValue(f"io.cost.qos: {key}={value!r} not a number") from None
+        else:
+            raise InvalidKnobValue(f"io.cost.qos: unknown key {key!r}")
+    return device, params.validate()
+
+
+@dataclass(frozen=True)
+class IoCostModelParams:
+    """Per-device io.cost.model parameters (the kernel's linear model).
+
+    Six throughput parameters describe the device: sequential/random IOPS
+    and bandwidth per direction. The controller derives per-I/O and
+    per-page cost coefficients from them, exactly as blk-iocost does.
+    """
+
+    ctrl: str = "auto"
+    model: str = "linear"
+    rbps: float = 0.0
+    rseqiops: float = 0.0
+    rrandiops: float = 0.0
+    wbps: float = 0.0
+    wseqiops: float = 0.0
+    wrandiops: float = 0.0
+
+    def validate(self) -> "IoCostModelParams":
+        if self.model != "linear":
+            raise InvalidKnobValue(f"io.cost.model: only linear supported, got {self.model!r}")
+        if self.ctrl not in ("auto", "user"):
+            raise InvalidKnobValue(f"io.cost.model: ctrl must be auto|user, got {self.ctrl!r}")
+        for name in ("rbps", "rseqiops", "rrandiops", "wbps", "wseqiops", "wrandiops"):
+            if getattr(self, name) < 0:
+                raise InvalidKnobValue(f"io.cost.model: {name} must be >= 0")
+        return self
+
+
+def parse_io_cost_model_line(raw: str) -> tuple[str, IoCostModelParams]:
+    """Parse one ``io.cost.model`` line."""
+    tokens = raw.split()
+    if not tokens:
+        raise InvalidKnobValue("io.cost.model: empty write")
+    device = parse_device_id(tokens[0])
+    pairs = _split_kv(tokens[1:], "io.cost.model")
+    params = IoCostModelParams()
+    numeric = {"rbps", "rseqiops", "rrandiops", "wbps", "wseqiops", "wrandiops"}
+    for key, value in pairs.items():
+        if key == "ctrl":
+            params = replace(params, ctrl=value)
+        elif key == "model":
+            params = replace(params, model=value)
+        elif key in numeric:
+            try:
+                params = replace(params, **{key: float(value)})
+            except ValueError:
+                raise InvalidKnobValue(f"io.cost.model: {key}={value!r} not a number") from None
+        else:
+            raise InvalidKnobValue(f"io.cost.model: unknown key {key!r}")
+    return device, params.validate()
+
+
+# ----------------------------------------------------------------------
+# Knob registry: file name -> (per_device?, parse function)
+# ----------------------------------------------------------------------
+@dataclass
+class KnobSpec:
+    """How a knob file behaves: scalar vs per-device, root-only or not."""
+
+    name: str
+    per_device: bool
+    root_only: bool
+    parse: object  # Callable; typed loosely to keep the table readable.
+
+
+KNOB_SPECS: dict[str, KnobSpec] = {
+    "io.weight": KnobSpec("io.weight", per_device=False, root_only=False, parse=parse_io_weight),
+    "io.bfq.weight": KnobSpec(
+        "io.bfq.weight", per_device=False, root_only=False, parse=parse_bfq_weight
+    ),
+    "io.prio.class": KnobSpec(
+        "io.prio.class", per_device=False, root_only=False, parse=parse_prio_class
+    ),
+    "io.max": KnobSpec("io.max", per_device=True, root_only=False, parse=parse_io_max_line),
+    "io.latency": KnobSpec(
+        "io.latency", per_device=True, root_only=False, parse=parse_io_latency_line
+    ),
+    "io.cost.qos": KnobSpec(
+        "io.cost.qos", per_device=True, root_only=True, parse=parse_io_cost_qos_line
+    ),
+    "io.cost.model": KnobSpec(
+        "io.cost.model", per_device=True, root_only=True, parse=parse_io_cost_model_line
+    ),
+}

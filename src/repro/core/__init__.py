@@ -1,0 +1,38 @@
+"""isol-bench: the benchmark suite itself.
+
+Builds scenarios (devices + cgroup tree + knob configuration + app set),
+runs them on the simulated host, and implements the four desiderata
+sub-benchmarks:
+
+* D1 overhead & scalability  -- :mod:`repro.core.d1_overhead`
+* D2 proportional fairness   -- :mod:`repro.core.d2_fairness`
+* D3 priority/utilization    -- :mod:`repro.core.d3_tradeoffs`
+* D4 burst support           -- :mod:`repro.core.d4_bursts`
+
+:mod:`repro.core.desiderata` scores all four into the paper's Table I.
+"""
+
+from repro.core.config import (
+    Scenario,
+    KnobConfig,
+    NoneKnob,
+    MqDeadlineKnob,
+    BfqKnob,
+    IoMaxKnob,
+    IoLatencyKnob,
+    IoCostKnob,
+)
+from repro.core.runner import ScenarioResult, run_scenario
+
+__all__ = [
+    "Scenario",
+    "KnobConfig",
+    "NoneKnob",
+    "MqDeadlineKnob",
+    "BfqKnob",
+    "IoMaxKnob",
+    "IoLatencyKnob",
+    "IoCostKnob",
+    "ScenarioResult",
+    "run_scenario",
+]

@@ -1,0 +1,231 @@
+"""D2: proportional fairness (§VI-A, Fig. 5 & Fig. 6).
+
+Fairness is weighted Jain's index over per-cgroup bandwidth, with four
+batch-apps per cgroup so the device is saturated (fairness is only
+meaningful under congestion). Four experiment families:
+
+* **Q3** uniform weights & workloads, scaling cgroup count (Fig. 5a/b);
+* **Q4** linearly increasing weights (Fig. 5c/d);
+* **Q5** non-uniform workloads: mixed request sizes (Fig. 6a), mixed
+  access patterns (reported, not plotted in the paper), and mixed
+  read/write with GC (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Scenario
+from repro.core.knob_catalog import ALL_KNOB_NAMES, fairness_knobs
+from repro.core.runner import run_scenario
+from repro.core.scenarios import (
+    FairnessGroupSpec,
+    fairness_specs,
+    linear_weight_fairness_groups,
+    uniform_fairness_groups,
+)
+from repro.iorequest import KIB, Pattern
+from repro.ssd.model import SsdModel
+from repro.ssd.presets import samsung_980pro_like
+
+
+@dataclass(frozen=True)
+class FairnessPoint:
+    """One fairness bar + bandwidth line point (Fig. 5/6)."""
+
+    knob: str
+    experiment: str
+    n_groups: int
+    fairness: float
+    aggregate_bandwidth_gib_s: float
+    per_group_mib_s: dict[str, float]
+
+
+def _run_fairness_case(
+    experiment: str,
+    knob_name: str,
+    groups: list[FairnessGroupSpec],
+    ssd: SsdModel,
+    weighted: bool,
+    apps_per_group: int,
+    cores: int,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+    device_scale: float,
+    queue_depth: int,
+) -> FairnessPoint:
+    scaled_model = ssd.scaled(device_scale)
+    knob = fairness_knobs(
+        groups, scaled_model, weighted=weighted, latency_scale=device_scale
+    )[knob_name]
+    specs = fairness_specs(groups, apps_per_group=apps_per_group, queue_depth=queue_depth)
+    has_writes = any(group.read_fraction < 1.0 for group in groups)
+    scenario = Scenario(
+        name=f"d2-{experiment}-{knob_name}-{len(groups)}g",
+        knob=knob,
+        apps=specs,
+        ssd_model=ssd,
+        cores=cores,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        device_scale=device_scale,
+        preconditioned=has_writes,
+    )
+    result = run_scenario(scenario)
+    weights = {group.path: float(group.weight) for group in groups}
+    group_stats = result.cgroup_stats()
+    return FairnessPoint(
+        knob=knob_name,
+        experiment=experiment,
+        n_groups=len(groups),
+        fairness=result.fairness(weights),
+        aggregate_bandwidth_gib_s=result.equivalent_bandwidth_gib_s,
+        per_group_mib_s={
+            path: stats.bandwidth_mib_s * device_scale
+            for path, stats in group_stats.items()
+        },
+    )
+
+
+def run_uniform_fairness(
+    group_counts: tuple[int, ...] = (2, 4, 8, 16),
+    knob_names: tuple[str, ...] = ALL_KNOB_NAMES,
+    ssd: SsdModel | None = None,
+    apps_per_group: int = 4,
+    cores: int = 10,
+    duration_s: float = 0.6,
+    warmup_s: float = 0.2,
+    seed: int = 42,
+    device_scale: float = 8.0,
+    queue_depth: int = 64,
+) -> list[FairnessPoint]:
+    """Q3: uniform weights/workloads, scaling the number of cgroups."""
+    ssd = ssd or samsung_980pro_like()
+    points = []
+    for n_groups in group_counts:
+        groups = uniform_fairness_groups(n_groups)
+        for knob_name in knob_names:
+            points.append(
+                _run_fairness_case(
+                    "uniform",
+                    knob_name,
+                    groups,
+                    ssd,
+                    weighted=False,
+                    apps_per_group=apps_per_group,
+                    cores=cores,
+                    duration_s=duration_s,
+                    warmup_s=warmup_s,
+                    seed=seed,
+                    device_scale=device_scale,
+                    queue_depth=queue_depth,
+                )
+            )
+    return points
+
+
+def run_weighted_fairness(
+    group_counts: tuple[int, ...] = (2, 16),
+    knob_names: tuple[str, ...] = ALL_KNOB_NAMES,
+    ssd: SsdModel | None = None,
+    apps_per_group: int = 4,
+    cores: int = 10,
+    duration_s: float = 0.6,
+    warmup_s: float = 0.2,
+    seed: int = 42,
+    device_scale: float = 8.0,
+    queue_depth: int = 64,
+) -> list[FairnessPoint]:
+    """Q4: linearly increasing weights."""
+    ssd = ssd or samsung_980pro_like()
+    points = []
+    for n_groups in group_counts:
+        groups = linear_weight_fairness_groups(n_groups)
+        for knob_name in knob_names:
+            points.append(
+                _run_fairness_case(
+                    "weighted",
+                    knob_name,
+                    groups,
+                    ssd,
+                    weighted=True,
+                    apps_per_group=apps_per_group,
+                    cores=cores,
+                    duration_s=duration_s,
+                    warmup_s=warmup_s,
+                    seed=seed,
+                    device_scale=device_scale,
+                    queue_depth=queue_depth,
+                )
+            )
+    return points
+
+
+def mixed_size_groups() -> list[FairnessGroupSpec]:
+    """Fig. 6a: one 4 KiB group vs one 256 KiB group, uniform weights."""
+    return [
+        FairnessGroupSpec(path="/tenants/small", weight=100, size=4 * KIB),
+        FairnessGroupSpec(path="/tenants/large", weight=100, size=256 * KIB),
+    ]
+
+
+def mixed_pattern_groups() -> list[FairnessGroupSpec]:
+    """Q5 access-pattern case: random vs sequential readers."""
+    return [
+        FairnessGroupSpec(path="/tenants/rand", weight=100, pattern=Pattern.RANDOM),
+        FairnessGroupSpec(path="/tenants/seq", weight=100, pattern=Pattern.SEQUENTIAL),
+    ]
+
+
+def mixed_rw_groups() -> list[FairnessGroupSpec]:
+    """Fig. 6b: one reader group vs one writer group (GC territory)."""
+    return [
+        FairnessGroupSpec(path="/tenants/readers", weight=100, read_fraction=1.0),
+        FairnessGroupSpec(path="/tenants/writers", weight=100, read_fraction=0.0),
+    ]
+
+
+def run_mixed_workload_fairness(
+    case: str,
+    knob_names: tuple[str, ...] = ALL_KNOB_NAMES,
+    ssd: SsdModel | None = None,
+    apps_per_group: int = 4,
+    cores: int = 10,
+    duration_s: float = 0.8,
+    warmup_s: float = 0.3,
+    seed: int = 42,
+    device_scale: float = 8.0,
+    queue_depth: int = 64,
+) -> list[FairnessPoint]:
+    """Q5: fairness under non-uniform workloads.
+
+    ``case`` is one of ``sizes``, ``patterns``, ``readwrite``.
+    """
+    builders = {
+        "sizes": mixed_size_groups,
+        "patterns": mixed_pattern_groups,
+        "readwrite": mixed_rw_groups,
+    }
+    if case not in builders:
+        raise ValueError(f"unknown case {case!r}; options: {sorted(builders)}")
+    ssd = ssd or samsung_980pro_like()
+    groups = builders[case]()
+    return [
+        _run_fairness_case(
+            case,
+            knob_name,
+            groups,
+            ssd,
+            weighted=False,
+            apps_per_group=apps_per_group,
+            cores=cores,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            device_scale=device_scale,
+            queue_depth=queue_depth,
+        )
+        for knob_name in knob_names
+    ]

@@ -1,0 +1,166 @@
+"""Fig. 2: illustrative three-app timelines for every knob (§IV-B).
+
+Three identical rate-limited batch apps (64 KiB random reads, QD=8,
+1.5 GiB/s cap) start and stop on a staggered timeline: A runs 0-50 s,
+B 10-70 s, C 20-50 s. Each knob is configured as the paper describes and
+the per-app bandwidth time series is recorded -- the eight subplots of
+Fig. 2.
+
+Timeline and device are scalable: ``time_scale`` compresses the schedule
+and ``device_scale`` slows the device (rate caps scale along). Note that
+io.latency's 500 ms control window is a kernel constant and is *not*
+scaled, so at strong compression its dynamics occupy proportionally more
+of the timeline (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cgroups.knobs import IoCostQosParams
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    KnobConfig,
+    MqDeadlineKnob,
+    NoneKnob,
+    Scenario,
+)
+from repro.core.runner import run_scenario
+from repro.core.scenarios import fig2_timeline_specs
+from repro.iorequest import GIB
+from repro.metrics.timeseries import bandwidth_series
+from repro.ssd.model import SsdModel
+from repro.ssd.presets import samsung_980pro_like
+
+GROUP_A, GROUP_B, GROUP_C = "/tenants/a", "/tenants/b", "/tenants/c"
+
+#: The eight Fig. 2 panels, in paper order.
+FIG2_PANELS = (
+    "none",
+    "mq-deadline",
+    "bfq-uniform",
+    "bfq-weighted",
+    "io.max",
+    "io.latency",
+    "io.cost",
+    "io.cost-weighted",
+)
+
+
+def fig2_knob(panel: str, ssd_scaled: SsdModel, device_scale: float) -> KnobConfig:
+    """The knob configuration behind one Fig. 2 panel."""
+    cap_bps = 1.0 * GIB / device_scale
+    if panel == "none":
+        return NoneKnob()
+    if panel == "mq-deadline":
+        return MqDeadlineKnob(
+            classes={GROUP_A: "realtime", GROUP_B: "best-effort", GROUP_C: "idle"}
+        )
+    if panel == "bfq-uniform":
+        return BfqKnob(weights={GROUP_A: 100, GROUP_B: 100, GROUP_C: 100})
+    if panel == "bfq-weighted":
+        return BfqKnob(weights={GROUP_A: 400, GROUP_B: 200, GROUP_C: 100})
+    if panel == "io.max":
+        return IoMaxKnob(
+            limits={path: {"rbps": cap_bps} for path in (GROUP_A, GROUP_B, GROUP_C)}
+        )
+    if panel == "io.latency":
+        # A is the protected app; B and C have no targets. The target is
+        # deliberately aggressive (just under A's isolated P90): the
+        # violation then persists even with B/C throttled to QD=1, which
+        # is the regime behind the paper's Fig. 2f -- B/C pinned at a few
+        # hundred MiB/s and, through the accumulated use_delay, no
+        # recovery after A stops.
+        return IoLatencyKnob(targets_us={GROUP_A: 95.0 * device_scale})
+    if panel == "io.cost":
+        return IoCostKnob(
+            qos=IoCostQosParams(
+                enable=True,
+                ctrl="user",
+                rpct=95.0,
+                rlat_us=200.0 * device_scale,
+                vrate_min_pct=50.0,
+                vrate_max_pct=100.0,
+            )
+        )
+    if panel == "io.cost-weighted":
+        return IoCostKnob(
+            weights={GROUP_A: 600, GROUP_B: 300, GROUP_C: 100},
+            qos=IoCostQosParams(
+                enable=True,
+                ctrl="user",
+                rpct=95.0,
+                rlat_us=200.0 * device_scale,
+                vrate_min_pct=50.0,
+                vrate_max_pct=100.0,
+            ),
+        )
+    raise ValueError(f"unknown Fig. 2 panel {panel!r}; options: {FIG2_PANELS}")
+
+
+@dataclass
+class Fig2Panel:
+    """One knob's timeline result."""
+
+    panel: str
+    bucket_s: float
+    # app name -> (times_s, equivalent MiB/s)
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+
+    def mean_between(self, app: str, start_s: float, stop_s: float) -> float:
+        """Mean bandwidth of one app over a timeline slice."""
+        times, values = self.series[app]
+        window = [v for t, v in zip(times, values) if start_s <= t < stop_s]
+        return sum(window) / len(window) if window else 0.0
+
+
+def run_fig2_panel(
+    panel: str,
+    time_scale: float = 0.5,
+    device_scale: float = 8.0,
+    ssd: SsdModel | None = None,
+    cores: int = 10,
+    seed: int = 42,
+    buckets_per_timeline: int = 70,
+) -> Fig2Panel:
+    """Run one panel and return its per-app bandwidth series."""
+    ssd = ssd or samsung_980pro_like()
+    specs = fig2_timeline_specs(time_scale=time_scale, rate_scale=device_scale)
+    duration_s = 70.0 * time_scale
+    knob = fig2_knob(panel, ssd.scaled(device_scale), device_scale)
+    scenario = Scenario(
+        name=f"fig2-{panel}",
+        knob=knob,
+        apps=specs,
+        ssd_model=ssd,
+        cores=cores,
+        duration_s=duration_s,
+        warmup_s=0.0,  # the timeline itself is the object of study
+        seed=seed,
+        device_scale=device_scale,
+    )
+    result = run_scenario(scenario)
+    bucket_us = duration_s * 1e6 / buckets_per_timeline
+    out = Fig2Panel(panel=panel, bucket_s=bucket_us / 1e6)
+    for spec in specs:
+        times, sizes = result.collector.series_of(spec.name)
+        xs, ys = bandwidth_series(
+            times, sizes, 0.0, duration_s * 1e6, bucket_us=bucket_us
+        )
+        # Report device-scale-equivalent bandwidth and timeline seconds
+        # rescaled back to the paper's 70 s axis.
+        xs = [x / time_scale for x in xs]
+        ys = [y * device_scale for y in ys]
+        out.series[spec.name] = (xs, ys)
+    return out
+
+
+def run_fig2(
+    panels: tuple[str, ...] = FIG2_PANELS,
+    **kwargs,
+) -> dict[str, Fig2Panel]:
+    """Run a set of Fig. 2 panels."""
+    return {panel: run_fig2_panel(panel, **kwargs) for panel in panels}

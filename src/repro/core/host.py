@@ -1,0 +1,325 @@
+"""The simulated host: wires apps, cgroups, knobs, CPUs and SSDs.
+
+Request path (mirroring the Linux block layer):
+
+  app issue -> CPU submit cost -> cgroup throttler (io.max / io.latency /
+  io.cost or passthrough) -> scheduler (none / mq-deadline / bfq) ->
+  serialized dispatch -> device (flash units + bus) -> CPU completion
+  cost -> app sees completion.
+
+The host also applies the io.cost deferred-timer latency under CPU
+saturation (profile-driven, see :mod:`repro.cpu.model`) and routes
+completions to the metrics collector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cgroups.hierarchy import Cgroup, CgroupHierarchy
+from repro.core.config import (
+    BfqKnob,
+    DynamicIoMaxKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    MqDeadlineKnob,
+    Scenario,
+)
+from repro.cpu.accounting import CpuAccounting
+from repro.cpu.cores import CoreSet
+from repro.cpu.model import profile_for_knob
+from repro.iocontrol.base import IoScheduler, PassthroughThrottle, ThrottleLayer
+from repro.iocontrol.bfq import BfqScheduler
+from repro.iocontrol.dispatch import DispatchEngine
+from repro.iocontrol.iocost import IoCostController
+from repro.iocontrol.iolatency import IoLatencyController
+from repro.iocontrol.iomax import IoMaxController
+from repro.iocontrol.mq_deadline import MqDeadlineScheduler
+from repro.iocontrol.nonectl import NoneScheduler
+from repro.iorequest import IoRequest
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.workconservation import WorkConservationProbe
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.ssd.array import SsdArray
+from repro.workloads.generator import App
+
+
+def _scaled_profile(profile, device_scale: float):
+    """Scale per-I/O CPU costs by ``device_scale`` (identity at 1.0)."""
+    if device_scale == 1.0:
+        return profile
+    return dataclasses.replace(
+        profile,
+        cost_qd1_us=profile.cost_qd1_us * device_scale,
+        cost_batched_us=profile.cost_batched_us * device_scale,
+    )
+
+
+class Host:
+    """One fully wired simulation instance for a scenario."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self.sim = Simulator()
+        self.rngs = RngStreams(scenario.seed)
+        self.hierarchy = CgroupHierarchy()
+        self.collector = MetricsCollector()
+        # device_scale slows the device AND the per-I/O host costs by the
+        # same factor so that every bottleneck (flash, bus, CPU, dispatch
+        # lock) shrinks uniformly: relative saturation points -- the shape
+        # the experiments compare -- are preserved while the event count
+        # drops. Latency-sensitive studies should run at scale 1.
+        self.profile = _scaled_profile(
+            profile_for_knob(scenario.knob.profile_name), scenario.device_scale
+        )
+
+        ssd_model = scenario.ssd_model.scaled(scenario.device_scale)
+        self.ssd_model = ssd_model
+        self.devices = SsdArray(
+            self.sim,
+            ssd_model,
+            scenario.num_devices,
+            self.rngs.stream("device"),
+            preconditioned=scenario.preconditioned,
+        )
+        self.core_set = CoreSet(self.sim, scenario.cores)
+        self.accounting = CpuAccounting(self.core_set, self.profile)
+
+        self._build_cgroups()
+        scenario.knob.configure(self.hierarchy, scenario.device_ids())
+        self.throttles = [
+            self._make_throttle(device_index)
+            for device_index in range(scenario.num_devices)
+        ]
+        self.schedulers = [
+            self._make_scheduler() for _ in range(scenario.num_devices)
+        ]
+        self.engines = [
+            DispatchEngine(
+                self.sim,
+                self.schedulers[i],
+                self.devices[i],
+                self.core_set,
+                on_complete=self._on_device_complete,
+            )
+            for i in range(scenario.num_devices)
+        ]
+        self.apps = self._build_apps()
+        self.page_caches = self._build_page_caches()
+        self.iomax_managers = self._build_iomax_managers()
+        self.wc_probes = [
+            WorkConservationProbe(
+                self.sim,
+                device_idle=self.devices[i].has_idle_capacity,
+                pending_requests=lambda i=i: (
+                    self.throttles[i].pending() + self.schedulers[i].queued()
+                ),
+            )
+            for i in range(scenario.num_devices)
+        ]
+        for throttle in self.throttles:
+            throttle.start()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_cgroups(self) -> None:
+        for spec in self.scenario.apps:
+            group = self.hierarchy.create(spec.cgroup_path, processes=True)
+            group.add_process(spec.name)
+
+    def _make_scheduler(self) -> IoScheduler:
+        scheduler = self._build_scheduler()
+        if self.scenario.device_scale != 1.0:
+            # Instance attribute shadows the class constant: the dispatch
+            # lock slows down with the rest of the host.
+            scheduler.lock_overhead_us = (
+                scheduler.lock_overhead_us * self.scenario.device_scale
+            )
+        return scheduler
+
+    def _build_scheduler(self) -> IoScheduler:
+        knob = self.scenario.knob
+        if isinstance(knob, MqDeadlineKnob):
+            return MqDeadlineScheduler(
+                prio_aging_expire_us=knob.prio_aging_expire_us,
+                affinity_sigma=self.profile.saturation_unfairness_sigma,
+                rng=self.rngs.stream("sched.mq-deadline"),
+            )
+        if isinstance(knob, BfqKnob):
+            cache: dict[str, Cgroup] = {}
+
+            def bfq_weight_of(path: str) -> float:
+                group = cache.get(path)
+                if group is None:
+                    group = self.hierarchy.find(path)
+                    cache[path] = group
+                return float(group.bfq_weight())
+
+            return BfqScheduler(
+                weight_of=bfq_weight_of,
+                slice_idle_us=knob.slice_idle_us,
+                slice_budget_bytes=knob.slice_budget_bytes,
+                slice_timeout_us=knob.slice_timeout_us,
+                affinity_sigma=self.profile.saturation_unfairness_sigma,
+            )
+        return NoneScheduler()
+
+    def _make_throttle(self, device_index: int) -> ThrottleLayer:
+        knob = self.scenario.knob
+        device_id = self.scenario.device_ids()[device_index]
+        if isinstance(knob, (IoMaxKnob, DynamicIoMaxKnob)):
+            return IoMaxController(self.sim, self.hierarchy, device_id)
+        if isinstance(knob, IoLatencyKnob):
+            return IoLatencyController(
+                self.sim,
+                self.hierarchy,
+                device_id,
+                max_qd=self.ssd_model.nvme_max_qd,
+            )
+        if isinstance(knob, IoCostKnob):
+            return IoCostController(
+                self.sim,
+                self.hierarchy,
+                device_id,
+                model=knob.resolve_model(self.ssd_model),
+                qos=knob.qos,
+            )
+        return PassthroughThrottle()
+
+    def _build_apps(self) -> dict[str, App]:
+        apps: dict[str, App] = {}
+        for app_index, spec in enumerate(self.scenario.apps):
+            self.collector.register_app(spec.name, spec.cgroup_path)
+            # io.prio.class is not inheritable: read it from the app's
+            # own (process) group only.
+            prio = int(self.hierarchy.find(spec.cgroup_path).prio_class())
+            app = App(
+                self.sim,
+                spec,
+                submit=self._submit,
+                rng=self.rngs.stream(f"app.{spec.name}"),
+                device_index=self.devices.device_for_app(app_index),
+                prio_class=prio,
+            )
+            apps[spec.name] = app
+        return apps
+
+    def _build_iomax_managers(self):
+        """Control loops for DynamicIoMaxKnob scenarios."""
+        knob = self.scenario.knob
+        if not isinstance(knob, DynamicIoMaxKnob):
+            return []
+        from repro.iocontrol.dynamic_iomax import DynamicIoMaxManager
+        from repro.iorequest import KIB, OpType, Pattern
+
+        max_read_bps = self.ssd_model.saturation_bandwidth_bps(
+            OpType.READ, Pattern.RANDOM, 4 * KIB
+        )
+        return [
+            DynamicIoMaxManager(
+                self.sim,
+                self.hierarchy,
+                self.throttles[index],
+                weights={path: float(w) for path, w in knob.weights.items()},
+                max_read_bps=max_read_bps / self.scenario.num_devices,
+                bytes_completed_of=self.collector.lifetime_bytes_of_cgroup,
+                device_id=self.scenario.device_ids()[index],
+                adjust_period_us=knob.adjust_period_us,
+                idle_floor_fraction=knob.idle_floor_fraction,
+            )
+            for index in range(self.scenario.num_devices)
+        ]
+
+    def _build_page_caches(self):
+        """One page cache per device, when any app runs buffered I/O."""
+        if all(spec.direct for spec in self.scenario.apps):
+            return []
+        from repro.fs.pagecache import PageCache, PageCacheConfig
+
+        config = self.scenario.page_cache or PageCacheConfig()
+        return [
+            PageCache(
+                self.sim,
+                self.rngs.stream(f"pagecache.{index}"),
+                config,
+                submit_direct=self._route_to_block_layer,
+                device_index=index,
+            )
+            for index in range(self.scenario.num_devices)
+        ]
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _submit(self, req: IoRequest) -> None:
+        qd = self.apps[req.app_name].spec.queue_depth
+        cost = self.profile.submit_cost_us(qd)
+        self.core_set.charge(cost, lambda: self._after_submit_cpu(req))
+
+    def _route_to_block_layer(self, req: IoRequest) -> None:
+        """Entry below the page cache: straight into cgroup throttling."""
+        throttle = self.throttles[req.device_index]
+        engine = self.engines[req.device_index]
+        throttle.submit(req, engine.submit)
+
+    def _after_submit_cpu(self, req: IoRequest) -> None:
+        app = self.apps.get(req.app_name)
+        if app is not None and not app.spec.direct:
+            cache = self.page_caches[req.device_index]
+            cache.submit_buffered(req, self._finish)
+            return
+        self._after_submit_cpu_direct(req)
+
+    def _after_submit_cpu_direct(self, req: IoRequest) -> None:
+        extra = self.profile.saturated_extra_latency_us
+        throttle = self.throttles[req.device_index]
+        engine = self.engines[req.device_index]
+        if extra > 0 and self.core_set.is_saturated():
+            # io.cost defers work to per-period timers; under CPU
+            # saturation those timers lag, inflating latency (O1).
+            delay = extra * (0.5 + self.rngs.stream("iocost.timer").random())
+            self.sim.schedule(delay, lambda: throttle.submit(req, engine.submit))
+        else:
+            throttle.submit(req, engine.submit)
+
+    def _on_device_complete(self, req: IoRequest) -> None:
+        self.throttles[req.device_index].on_complete(req)
+        app = self.apps.get(req.app_name)
+        # Kernel-side requests (writeback) complete at batched cost.
+        qd = app.spec.queue_depth if app is not None else 256
+        cost = self.profile.complete_cost_us(qd)
+        self.core_set.charge(cost, lambda: self._finish(req))
+
+    def _finish(self, req: IoRequest) -> None:
+        req.complete_time = self.sim.now
+        self.accounting.on_io_complete()
+        app = self.apps.get(req.app_name)
+        if app is None:
+            # Page-cache writeback chunk: hand back to its cache.
+            self.page_caches[req.device_index].on_writeback_complete(req)
+            return
+        self.collector.on_complete(req)
+        app.on_complete(req)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Run the scenario to its configured duration."""
+        for app in self.apps.values():
+            app.start()
+        for probe in self.wc_probes:
+            probe.start()
+        for manager in self.iomax_managers:
+            manager.start()
+
+        def begin_measurement():
+            self.accounting.begin_window()
+            for probe in self.wc_probes:
+                probe.reset()
+
+        self.sim.schedule_at(self.scenario.warmup_us, begin_measurement)
+        self.sim.run_until(self.scenario.duration_us)

@@ -1,0 +1,159 @@
+"""Standard knob configurations per experiment family.
+
+The paper configures each knob differently per experiment (§V vs §VI):
+for the overhead study every knob is configured *not* to control
+(limits beyond saturation, multi-second targets, slice idling off) so
+only the mechanism's intrinsic cost is measured; for the fairness study
+each knob gets its closest approximation of "weights" (§VI-A). These
+builders encode those recipes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cgroups.knobs import IoCostQosParams
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    KnobConfig,
+    MqDeadlineKnob,
+    NoneKnob,
+)
+from repro.core.scenarios import FairnessGroupSpec
+from repro.iorequest import KIB, OpType, Pattern
+from repro.ssd.model import SsdModel
+from repro.tools.iocost_coef_gen import derive_model
+
+ALL_KNOB_NAMES = ("none", "mq-deadline", "bfq", "io.max", "io.latency", "io.cost")
+
+
+def overhead_knobs(ssd: SsdModel, group_paths: list[str]) -> dict[str, KnobConfig]:
+    """§V configuration: every knob present but doing no control.
+
+    io.max limits sit 10x beyond saturation, io.latency targets are
+    multiple seconds, io.cost gets an optimistic model (saturation point
+    beyond the SSD's) with no latency target, and BFQ's slice idling is
+    disabled -- so any measured cost is the mechanism itself.
+    ``group_paths`` are the app cgroups the per-group knobs apply to.
+    """
+    beyond = 10.0 * ssd.saturation_bandwidth_bps(OpType.READ, Pattern.RANDOM, 4 * KIB)
+    return {
+        "none": NoneKnob(),
+        "mq-deadline": MqDeadlineKnob(),
+        "bfq": BfqKnob(slice_idle_us=0.0),
+        "io.max": IoMaxKnob(
+            limits={path: {"rbps": beyond, "wbps": beyond} for path in group_paths}
+        ),
+        "io.latency": IoLatencyKnob(
+            targets_us={path: 5_000_000.0 for path in group_paths}
+        ),
+        "io.cost": IoCostKnob(
+            model=derive_model(ssd, conservatism=1.3),
+            qos=IoCostQosParams(enable=True, ctrl="user", vrate_min_pct=100.0, vrate_max_pct=100.0),
+        ),
+    }
+
+
+def _classes_from_weights(groups: list[FairnessGroupSpec]) -> dict[str, str]:
+    """Quantize weights into the three MQ-DL priority classes.
+
+    io.prio.class has only three levels, so "weights" degrade into
+    coarse buckets -- the paper's point that classes are a poor weight
+    approximation (Q4).
+    """
+    ordered = sorted(groups, key=lambda g: g.weight)
+    n = len(ordered)
+    classes: dict[str, str] = {}
+    for rank, group in enumerate(ordered):
+        if rank < n / 3:
+            classes[group.path] = "idle"
+        elif rank < 2 * n / 3:
+            classes[group.path] = "best-effort"
+        else:
+            classes[group.path] = "realtime"
+    return classes
+
+
+def _latency_targets_from_weights(groups: list[FairnessGroupSpec]) -> dict[str, float]:
+    """Invert weights into latency targets (higher weight -> tighter)."""
+    max_weight = max(group.weight for group in groups)
+    return {
+        group.path: 100.0 * max_weight / group.weight for group in groups
+    }
+
+
+def fairness_knobs(
+    groups: list[FairnessGroupSpec],
+    ssd: SsdModel,
+    weighted: bool,
+    request_size: int = 4 * KIB,
+    latency_scale: float = 1.0,
+) -> dict[str, KnobConfig]:
+    """§VI-A configuration: each knob's closest notion of weights.
+
+    * io.cost: io.weight per group, an achievable (conservative) model
+      and a 100 us P95 read latency target with min=50% (the exact Fig. 5a
+      recipe that costs io.cost aggregate bandwidth);
+    * BFQ: io.bfq.weight (clamped to its 1-1000 range);
+    * MQ-DL: weights quantized into the three priority classes;
+    * io.latency: weights inverted into latency targets;
+    * io.max: the paper's naive translation
+      ``max_i = weight_i / total_weight * max_read_bandwidth``.
+
+    ``ssd`` is the (possibly scaled) device the scenario actually runs
+    on; ``latency_scale`` dilates latency-valued knob parameters to the
+    scaled clock (pass the scenario's ``device_scale``).
+    """
+    total_weight = sum(group.weight for group in groups)
+    max_read_bps = ssd.saturation_bandwidth_bps(OpType.READ, Pattern.RANDOM, request_size)
+    knobs: dict[str, KnobConfig] = {
+        "none": NoneKnob(),
+        "bfq": BfqKnob(
+            weights={g.path: max(1, min(1000, g.weight)) for g in groups}
+        ),
+        "io.cost": IoCostKnob(
+            weights={g.path: max(1, min(10000, g.weight)) for g in groups},
+            qos=IoCostQosParams(
+                enable=True,
+                ctrl="user",
+                rpct=95.0,
+                rlat_us=100.0 * latency_scale,
+                vrate_min_pct=50.0,
+                vrate_max_pct=100.0,
+            ),
+        ),
+        "io.max": IoMaxKnob(
+            limits={
+                g.path: {"rbps": g.weight / total_weight * max_read_bps}
+                for g in groups
+            }
+        ),
+    }
+    if weighted:
+        knobs["mq-deadline"] = MqDeadlineKnob(classes=_classes_from_weights(groups))
+        knobs["io.latency"] = IoLatencyKnob(
+            targets_us={
+                path: target * latency_scale
+                for path, target in _latency_targets_from_weights(groups).items()
+            }
+        )
+    else:
+        knobs["mq-deadline"] = MqDeadlineKnob()
+        # Uniform weights: a single generous shared target (no control
+        # pressure, like the paper's unweighted baseline).
+        knobs["io.latency"] = IoLatencyKnob(
+            targets_us={g.path: 10_000.0 * latency_scale for g in groups}
+        )
+    return knobs
+
+
+def iomax_limit_for_share(share: float, ssd: SsdModel, request_size: int = 4 * KIB) -> float:
+    """The naive weight->io.max translation for one group."""
+    if not 0 < share <= 1:
+        raise ValueError(f"share must be in (0, 1], got {share}")
+    if math.isnan(share):
+        raise ValueError("share must be a number")
+    return share * ssd.saturation_bandwidth_bps(OpType.READ, Pattern.RANDOM, request_size)

@@ -1,0 +1,81 @@
+"""Pareto-front computation for the D3 trade-off study (Fig. 7).
+
+Each knob configuration yields one point: x = aggregated bandwidth
+(utilization, higher is better) and y = the priority app's metric
+(bandwidth: higher is better; P99 latency: lower is better). The front
+shows what trade-offs a knob can express; its size and span quantify
+granularity (MQ-DL's three coarse clusters vs io.cost's smooth curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One knob configuration's outcome."""
+
+    knob: str
+    config_label: str
+    be_variant: str
+    aggregate_gib_s: float
+    priority_metric: float
+    # True when priority_metric is "higher is better" (bandwidth);
+    # False for latency.
+    metric_maximize: bool
+
+
+def _dominates(a: TradeoffPoint, b: TradeoffPoint) -> bool:
+    """Does ``a`` weakly dominate ``b`` (and strictly on one axis)?"""
+    if a.metric_maximize:
+        better_y = a.priority_metric >= b.priority_metric
+        strictly_y = a.priority_metric > b.priority_metric
+    else:
+        better_y = a.priority_metric <= b.priority_metric
+        strictly_y = a.priority_metric < b.priority_metric
+    better_x = a.aggregate_gib_s >= b.aggregate_gib_s
+    strictly_x = a.aggregate_gib_s > b.aggregate_gib_s
+    return better_x and better_y and (strictly_x or strictly_y)
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Non-dominated subset, sorted by aggregate bandwidth."""
+    front = [
+        p
+        for p in points
+        if not any(_dominates(q, p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: p.aggregate_gib_s)
+
+
+def front_span(front: Sequence[TradeoffPoint]) -> tuple[float, float]:
+    """(x-span, y-span) of a front: how much trade-off room it covers."""
+    if not front:
+        return (0.0, 0.0)
+    xs = [p.aggregate_gib_s for p in front]
+    ys = [p.priority_metric for p in front]
+    return (max(xs) - min(xs), max(ys) - min(ys))
+
+
+def distinct_clusters(
+    front: Sequence[TradeoffPoint], x_resolution: float, y_resolution: float
+) -> int:
+    """Number of distinguishable operating points on a front.
+
+    Two points within both resolutions of each other count as one
+    cluster -- this is how we quantify MQ-DL's "coarse-grained (3
+    options)" trade-offs versus a smooth curve (O6 vs O9).
+    """
+    if x_resolution <= 0 or y_resolution <= 0:
+        raise ValueError("resolutions must be positive")
+    clusters: list[TradeoffPoint] = []
+    for point in front:
+        if not any(
+            abs(point.aggregate_gib_s - c.aggregate_gib_s) <= x_resolution
+            and abs(point.priority_metric - c.priority_metric) <= y_resolution
+            for c in clusters
+        ):
+            clusters.append(point)
+    return len(clusters)

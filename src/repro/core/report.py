@@ -1,0 +1,51 @@
+"""Plain-text rendering of benchmark output.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly
+(EXPERIMENTS.md embeds their output verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, series: dict[str, list[tuple[float, float]]], x_label: str, y_label: str
+) -> str:
+    """One line per (label, x, y) point -- the figure's raw data."""
+    lines = [f"{title}  [{x_label} -> {y_label}]"]
+    for label in sorted(series):
+        for x, y in series[label]:
+            lines.append(f"  {label:<22s} {x:>12.3f} {y:>12.3f}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

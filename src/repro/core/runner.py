@@ -1,0 +1,133 @@
+"""Scenario execution and results.
+
+:func:`run_scenario` builds a :class:`~repro.core.host.Host`, runs it and
+returns a :class:`ScenarioResult` exposing the measurements the paper's
+plots are built from: per-app/per-cgroup window statistics, latency
+CDFs, aggregate bandwidth, weighted fairness, and the CPU profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Scenario
+from repro.core.host import Host
+from repro.cpu.accounting import CpuReport
+from repro.iorequest import GIB
+from repro.metrics.collector import AppWindowStats, MetricsCollector
+from repro.metrics.fairness import weighted_jain_index
+from repro.metrics.latency import cdf
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one scenario run over its measurement window."""
+
+    scenario: Scenario
+    collector: MetricsCollector
+    cpu: CpuReport
+    t_start_us: float
+    t_end_us: float
+    host: Host
+
+    @property
+    def window_us(self) -> float:
+        return self.t_end_us - self.t_start_us
+
+    # ------------------------------------------------------------------
+    # Per-app / per-group views
+    # ------------------------------------------------------------------
+    def app_stats(self, app_name: str) -> AppWindowStats:
+        return self.collector.app_stats(app_name, self.t_start_us, self.t_end_us)
+
+    def all_app_stats(self) -> dict[str, AppWindowStats]:
+        return {
+            name: self.app_stats(name) for name in self.collector.app_names()
+        }
+
+    def cgroup_stats(self) -> dict[str, AppWindowStats]:
+        return self.collector.cgroup_stats(self.t_start_us, self.t_end_us)
+
+    def latency_cdf(self, app_name: str, points: int = 200):
+        samples = self.collector.window_latencies(
+            app_name, self.t_start_us, self.t_end_us
+        )
+        return cdf(samples, points=points)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_bandwidth_gib_s(self) -> float:
+        total = self.collector.total_bytes(self.t_start_us, self.t_end_us)
+        return total / GIB / (self.window_us / 1e6)
+
+    @property
+    def equivalent_bandwidth_gib_s(self) -> float:
+        """Bandwidth scaled back to full device speed.
+
+        Scenarios run at ``device_scale > 1`` slow every bottleneck by the
+        same factor; multiplying the measured bandwidth back yields the
+        full-speed equivalent the paper's absolute numbers correspond to.
+        """
+        return self.aggregate_bandwidth_gib_s * self.scenario.device_scale
+
+    @property
+    def work_conservation_violation(self) -> float:
+        """Worst per-device "idle while work pending" fraction (§II-B D3).
+
+        0.0 for a fully work-conserving stack; grows as a knob holds
+        requests back while the device has idle flash units.
+        """
+        fractions = [probe.violation_fraction for probe in self.host.wc_probes]
+        return max(fractions) if fractions else 0.0
+
+    def fairness(self, weights_by_group: dict[str, float] | None = None) -> float:
+        """Weighted Jain's index over per-cgroup bandwidth (§VI-A).
+
+        ``weights_by_group`` defaults to uniform weights.
+        """
+        groups = self.cgroup_stats()
+        if not groups:
+            raise ValueError("no completions in the measurement window")
+        paths = sorted(groups)
+        bandwidths = [groups[path].bytes / (self.window_us / 1e6) for path in paths]
+        if weights_by_group is None:
+            weights = [1.0] * len(paths)
+        else:
+            missing = [path for path in paths if path not in weights_by_group]
+            if missing:
+                raise ValueError(f"missing weights for groups: {missing}")
+            weights = [weights_by_group[path] for path in paths]
+        return weighted_jain_index(bandwidths, weights)
+
+    def describe(self) -> str:
+        """One-paragraph text summary (used by examples and the CLI)."""
+        lines = [
+            f"scenario {self.scenario.name!r} "
+            f"[knob={self.scenario.knob.label}, "
+            f"{self.scenario.num_devices} SSD(s), {self.scenario.cores} cores]",
+            f"  aggregate bandwidth: {self.aggregate_bandwidth_gib_s:.3f} GiB/s",
+            f"  cpu: {self.cpu}",
+        ]
+        for name, stats in sorted(self.all_app_stats().items()):
+            latency = f", {stats.latency}" if stats.latency else ""
+            lines.append(
+                f"  app {name:<12s} {stats.bandwidth_mib_s:9.1f} MiB/s "
+                f"({stats.iops:9.0f} IOPS){latency}"
+            )
+        return "\n".join(lines)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Build, run and measure one scenario."""
+    host = Host(scenario)
+    host.run()
+    return ScenarioResult(
+        scenario=scenario,
+        collector=host.collector,
+        cpu=host.accounting.report(),
+        t_start_us=scenario.warmup_us,
+        t_end_us=scenario.duration_us,
+        host=host,
+    )

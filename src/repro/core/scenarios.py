@@ -1,0 +1,212 @@
+"""Builders for the paper's standard experimental setups (§III, §V-§VI).
+
+Every figure in the evaluation is built from a handful of recurring
+shapes; these builders construct them so the D1-D4 modules and the
+benches stay declarative:
+
+* the Fig. 2 three-app staggered timeline (64 KiB QD=8, 1.5 GiB/s caps);
+* LC-app scaling on one core (Fig. 3);
+* batch-app scaling over 1-7 SSDs (Fig. 4);
+* N cgroups x 4 batch apps for fairness (Fig. 5/6);
+* priority app + 4 saturating BE apps for trade-offs (Fig. 7) and
+  bursts (§VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iorequest import GIB, KIB, Pattern
+from repro.workloads.apps import batch_app, be_app, lc_app
+from repro.workloads.spec import ActivityWindow, JobSpec
+
+FIG2_REQUEST_SIZE = 64 * KIB
+FIG2_QUEUE_DEPTH = 8
+FIG2_RATE_LIMIT_BPS = 1.5 * GIB
+
+
+def fig2_timeline_specs(time_scale: float = 1.0, rate_scale: float = 1.0) -> list[JobSpec]:
+    """The Fig. 2 apps: A runs 0-50 s, B 10-70 s, C 20-50 s.
+
+    ``time_scale`` compresses the timeline; ``rate_scale`` divides the
+    rate caps to match a scaled device (see DESIGN.md).
+    """
+    second = 1e6 * time_scale
+
+    def window(start_s: float, stop_s: float) -> tuple[ActivityWindow, ...]:
+        return (ActivityWindow(start_s * second, stop_s * second),)
+
+    def spec(name: str, cgroup: str, start_s: float, stop_s: float) -> JobSpec:
+        return batch_app(
+            name,
+            cgroup,
+            size=FIG2_REQUEST_SIZE,
+            queue_depth=FIG2_QUEUE_DEPTH,
+            rate_limit_bps=FIG2_RATE_LIMIT_BPS / rate_scale,
+            windows=window(start_s, stop_s),
+        )
+
+    return [
+        spec("A", "/tenants/a", 0.0, 50.0),
+        spec("B", "/tenants/b", 10.0, 70.0),
+        spec("C", "/tenants/c", 20.0, 50.0),
+    ]
+
+
+def lc_scaling_specs(n_apps: int) -> list[JobSpec]:
+    """``n_apps`` LC-apps, one cgroup each (Fig. 3 / Q1)."""
+    if n_apps < 1:
+        raise ValueError("need at least one LC app")
+    return [lc_app(f"lc{i}", f"/tenants/lc{i}") for i in range(n_apps)]
+
+
+def batch_scaling_specs(n_apps: int, queue_depth: int = 256) -> list[JobSpec]:
+    """``n_apps`` batch-apps, one cgroup each (Fig. 4 / Q2)."""
+    if n_apps < 1:
+        raise ValueError("need at least one batch app")
+    return [
+        batch_app(f"batch{i}", f"/tenants/batch{i}", queue_depth=queue_depth)
+        for i in range(n_apps)
+    ]
+
+
+@dataclass(frozen=True)
+class FairnessGroupSpec:
+    """Description of one cgroup in a fairness scenario."""
+
+    path: str
+    weight: int
+    size: int = 4 * KIB
+    pattern: Pattern = Pattern.RANDOM
+    read_fraction: float = 1.0
+
+
+def fairness_specs(
+    groups: list[FairnessGroupSpec],
+    apps_per_group: int = 4,
+    queue_depth: int = 256,
+) -> list[JobSpec]:
+    """``apps_per_group`` identical batch apps inside each cgroup (§VI-A)."""
+    specs: list[JobSpec] = []
+    for group in groups:
+        for j in range(apps_per_group):
+            specs.append(
+                batch_app(
+                    f"{group.path.strip('/').replace('/', '.')}-{j}",
+                    group.path,
+                    size=group.size,
+                    pattern=group.pattern,
+                    read_fraction=group.read_fraction,
+                    queue_depth=queue_depth,
+                )
+            )
+    return specs
+
+
+def uniform_fairness_groups(n_groups: int) -> list[FairnessGroupSpec]:
+    """N identical read-only groups with uniform weights (Q3)."""
+    return [
+        FairnessGroupSpec(path=f"/tenants/g{i}", weight=100) for i in range(n_groups)
+    ]
+
+
+def linear_weight_fairness_groups(n_groups: int, step: int = 100) -> list[FairnessGroupSpec]:
+    """Weights increasing linearly with the group index (Q4)."""
+    return [
+        FairnessGroupSpec(path=f"/tenants/g{i}", weight=step * (i + 1))
+        for i in range(n_groups)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Trade-off / burst building blocks (§VI-B, §VI-C)
+# ----------------------------------------------------------------------
+PRIORITY_GROUP = "/tenants/prio"
+BE_GROUP = "/tenants/be"
+
+
+@dataclass(frozen=True)
+class BeWorkloadVariant:
+    """A background-workload flavour from Fig. 7's legend."""
+
+    key: str
+    size: int
+    pattern: Pattern
+    read_fraction: float
+
+
+BE_VARIANTS: dict[str, BeWorkloadVariant] = {
+    "rand-4k": BeWorkloadVariant("rand-4k", 4 * KIB, Pattern.RANDOM, 1.0),
+    "seq-4k": BeWorkloadVariant("seq-4k", 4 * KIB, Pattern.SEQUENTIAL, 1.0),
+    "rand-256k": BeWorkloadVariant("rand-256k", 256 * KIB, Pattern.RANDOM, 1.0),
+    "rand-4k-write": BeWorkloadVariant("rand-4k-write", 4 * KIB, Pattern.RANDOM, 0.0),
+}
+
+
+def tradeoff_specs(
+    priority_kind: str,
+    be_variant: str = "rand-4k",
+    n_be_apps: int = 4,
+    be_queue_depth: int = 256,
+    priority_windows: tuple[ActivityWindow, ...] = (ActivityWindow(0.0),),
+    priority_queue_depth: int = 32,
+) -> list[JobSpec]:
+    """One priority app (LC or batch) plus saturating BE apps.
+
+    The priority app alone must not saturate the SSD (§VI-B): the LC app
+    runs QD=1 and the priority batch app a moderate queue depth (32 at
+    full device speed; scale it down together with ``device_scale`` so
+    the non-saturating property is preserved on slowed devices).
+    """
+    variant = BE_VARIANTS[be_variant]
+    if priority_kind == "lc":
+        priority = lc_app("prio", PRIORITY_GROUP, windows=priority_windows)
+    elif priority_kind == "batch":
+        priority = batch_app(
+            "prio",
+            PRIORITY_GROUP,
+            queue_depth=priority_queue_depth,
+            windows=priority_windows,
+        )
+    else:
+        raise ValueError(f"priority_kind must be 'lc' or 'batch', got {priority_kind!r}")
+    background = [
+        be_app(
+            f"be{i}",
+            BE_GROUP,
+            size=variant.size,
+            pattern=variant.pattern,
+            read_fraction=variant.read_fraction,
+            queue_depth=be_queue_depth,
+        )
+        for i in range(n_be_apps)
+    ]
+    return [priority] + background
+
+
+def burst_specs(
+    priority_kind: str,
+    burst_start_us: float,
+    be_variant: str = "rand-4k",
+    be_queue_depth: int = 256,
+    priority_queue_depth: int = 32,
+) -> list[JobSpec]:
+    """Trade-off shape, but the priority app arrives mid-run (§VI-C)."""
+    return tradeoff_specs(
+        priority_kind,
+        be_variant=be_variant,
+        be_queue_depth=be_queue_depth,
+        priority_windows=(ActivityWindow(burst_start_us),),
+        priority_queue_depth=priority_queue_depth,
+    )
+
+
+def scaled_priority_qd(device_scale: float, base_qd: int = 32) -> int:
+    """Priority batch-app queue depth for a scaled device.
+
+    Device scaling is pure time dilation (see ``SsdModel.scaled``): the
+    number of requests in flight at every station is preserved, so the
+    queue depth needs no adjustment. Kept as a named hook so the policy
+    lives in one place.
+    """
+    return base_qd

@@ -1,0 +1,27 @@
+"""Host CPU model.
+
+The paper's D1 analysis shows the I/O-control bottleneck moving to the
+host CPU: knobs differ in per-I/O submission/completion cost, schedulers
+serialize dispatch behind a lock (spinning burns CPU), and io.cost adds
+latency once the CPU saturates. This package models exactly those three
+effects:
+
+* :class:`~repro.cpu.cores.CoreSet` -- N cores behind one run queue,
+  charging per-I/O costs and accounting spin time;
+* :class:`~repro.cpu.model.CpuCostProfile` -- per-knob cost parameters
+  (QD1 vs batched submission, context switches per I/O);
+* :class:`~repro.cpu.accounting.CpuAccounting` -- utilization, context
+  switch, and cycles-per-I/O reporting (the paper's sar/perf numbers).
+"""
+
+from repro.cpu.model import CpuCostProfile, profile_for_knob, KNOB_PROFILES
+from repro.cpu.cores import CoreSet
+from repro.cpu.accounting import CpuAccounting
+
+__all__ = [
+    "CpuCostProfile",
+    "profile_for_knob",
+    "KNOB_PROFILES",
+    "CoreSet",
+    "CpuAccounting",
+]

@@ -1,0 +1,64 @@
+"""CPU accounting: the simulation's `sar` / `perf` / fio counters.
+
+The paper reports utilization (sar), context switches per I/O (fio) and
+cycles per I/O (perf). This module derives all three from the simulated
+core set plus the active knob's cost profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.cores import CoreSet
+from repro.cpu.model import CYCLES_PER_US, CpuCostProfile
+
+
+@dataclass
+class CpuReport:
+    """One measurement window's CPU profile."""
+
+    utilization: float
+    ios: int
+    ctx_switches_per_io: float
+    cycles_per_io: float
+    busy_us: float
+
+    def __str__(self) -> str:
+        return (
+            f"cpu util {self.utilization * 100:5.1f}%  "
+            f"ctx/io {self.ctx_switches_per_io:4.2f}  "
+            f"cycles/io {self.cycles_per_io / 1000.0:5.1f}K"
+        )
+
+
+class CpuAccounting:
+    """Accumulates per-window CPU statistics for one core set."""
+
+    def __init__(self, core_set: CoreSet, profile: CpuCostProfile):
+        self.core_set = core_set
+        self.profile = profile
+        self._ios = 0
+        self._snapshot = core_set.snapshot()
+        self._ios_at_snapshot = 0
+
+    def on_io_complete(self) -> None:
+        """Count one completed I/O."""
+        self._ios += 1
+
+    def begin_window(self) -> None:
+        """Start a fresh measurement window (e.g. after warmup)."""
+        self._snapshot = self.core_set.snapshot()
+        self._ios_at_snapshot = self._ios
+
+    def report(self) -> CpuReport:
+        """Close the current window and summarize it."""
+        ios = self._ios - self._ios_at_snapshot
+        busy_us = self.core_set.busy_time_us(self._snapshot)
+        cycles_per_io = busy_us / ios * CYCLES_PER_US if ios else 0.0
+        return CpuReport(
+            utilization=self.core_set.utilization(self._snapshot),
+            ios=ios,
+            ctx_switches_per_io=self.profile.ctx_switches_per_io if ios else 0.0,
+            cycles_per_io=cycles_per_io,
+            busy_us=busy_us,
+        )

@@ -1,0 +1,20 @@
+"""Higher storage-stack layers (the paper's §VII future work).
+
+The paper evaluates cgroup I/O control under direct I/O and explicitly
+asks whether the desiderata survive higher layers: "does the page cache
+or Linux's file systems maintain the desiderata of io.cost?". This
+package provides the substrate to ask that question in simulation:
+
+* :class:`~repro.fs.pagecache.PageCache` -- a write-back page cache with
+  dirty-ratio thresholds, per-cgroup writeback attribution (cgroup v2
+  style) or unattributed flusher-thread writeback (v1 style), and a
+  read-hit model.
+
+The extension bench (``benchmarks/test_ext_pagecache_isolation.py``)
+uses it to show that io.cost's latency protection survives buffered
+writers only when writeback is charged to the dirtying cgroup.
+"""
+
+from repro.fs.pagecache import PageCache, PageCacheConfig
+
+__all__ = ["PageCache", "PageCacheConfig"]

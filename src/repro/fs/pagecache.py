@@ -1,0 +1,257 @@
+"""Write-back page cache over the block layer.
+
+Models the parts of the Linux page cache that interact with cgroup I/O
+control:
+
+* **Buffered writes** complete after a memory-copy latency; the data
+  becomes *dirty* and is flushed later by background writeback in
+  device-friendly chunks.
+* **Dirty thresholds**: writeback starts above the background threshold;
+  above the hard threshold writers are blocked until writeback catches up
+  (``balance_dirty_pages``).
+* **Writeback attribution**: in cgroup v2, writeback I/O is charged to
+  the cgroup that dirtied the pages, so throttlers see the real culprit;
+  with ``attributed=False`` it is issued from a shared flusher context
+  (cgroup v1 behaviour), bypassing per-tenant control -- the comparison
+  the extension experiment draws.
+* **Buffered reads** hit the cache with a configurable probability;
+  misses go to the device (read-ahead is out of scope).
+
+The cache is deliberately per-device and bytes-based (no per-file radix
+trees): what matters to the isolation question is *how much* I/O reaches
+the block layer from *whose* budget, and when.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.iorequest import IoRequest, OpType, Pattern
+
+SubmitFn = Callable[[IoRequest], None]
+
+
+@dataclass(frozen=True)
+class PageCacheConfig:
+    """Tunables mirroring vm.dirty_* and writeback behaviour."""
+
+    # Memory-copy latency for a cache-hit/buffered completion.
+    copy_latency_us: float = 2.0
+    # Background writeback starts above this many dirty bytes (global).
+    dirty_background_bytes: int = 16 * 1024 * 1024
+    # Writers block above this (balance_dirty_pages).
+    dirty_hard_bytes: int = 64 * 1024 * 1024
+    # Writeback I/O is issued in chunks of this size.
+    writeback_chunk_bytes: int = 256 * 1024
+    # Max concurrent writeback chunks in flight.
+    writeback_depth: int = 8
+    # Probability a buffered read hits the cache.
+    read_hit_ratio: float = 0.0
+    # cgroup v2 attribution: charge writeback to the dirtying cgroup.
+    attributed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.copy_latency_us < 0:
+            raise ValueError("copy latency must be >= 0")
+        if self.dirty_background_bytes > self.dirty_hard_bytes:
+            raise ValueError("background threshold must not exceed hard threshold")
+        if self.writeback_chunk_bytes <= 0 or self.writeback_depth < 1:
+            raise ValueError("writeback chunk/depth must be positive")
+        if not 0.0 <= self.read_hit_ratio <= 1.0:
+            raise ValueError("read_hit_ratio must be in [0, 1]")
+
+
+#: cgroup the unattributed flusher thread runs in (v1-style writeback).
+FLUSHER_CGROUP = "/"
+FLUSHER_NAME = "kworker-flush"
+
+
+class PageCache:
+    """One device's write-back cache.
+
+    ``submit_direct`` is the block-layer entry (the host's normal submit
+    path); buffered apps call :meth:`submit_buffered` instead. Writeback
+    requests are fabricated :class:`IoRequest` objects whose completions
+    come back through :meth:`on_writeback_complete` (the host routes by
+    app name).
+    """
+
+    def __init__(
+        self,
+        sim,
+        rng,
+        config: PageCacheConfig,
+        submit_direct: SubmitFn,
+        device_index: int = 0,
+    ):
+        self.sim = sim
+        self.rng = rng
+        self.config = config
+        self.submit_direct = submit_direct
+        self.device_index = device_index
+        # Dirty bytes per dirtying cgroup (FIFO within a group).
+        self.dirty_by_cgroup: dict[str, int] = {}
+        self.total_dirty = 0
+        self._writeback_in_flight = 0
+        # Bytes issued to the device but not yet durable: still counted
+        # against the writer limit, like pages under writeback. Tracked
+        # per dirtying cgroup regardless of attribution, so the
+        # balance_dirty_pages limit is per-tenant (a fast-draining tenant
+        # may keep writing while a slow one stalls -- this is what makes
+        # buffered-writer throughput follow the drain rate its weight
+        # buys it).
+        self._writeback_bytes_by_cgroup: dict[str, int] = {}
+        # Writers blocked by the hard limit:
+        # (cgroup, bytes_needed, wake callback).
+        self._blocked_writers: deque[tuple[str, int, Callable[[], None]]] = deque()
+        # Writeback origin per request (needed when unattributed: the
+        # request itself carries the flusher's cgroup).
+        self._wb_origin: dict[int, str] = {}
+        self.stats_buffered_writes = 0
+        self.stats_writeback_ios = 0
+        self.stats_read_hits = 0
+        self.stats_read_misses = 0
+        self.stats_writer_stalls = 0
+
+    # ------------------------------------------------------------------
+    # Buffered I/O entry points
+    # ------------------------------------------------------------------
+    def submit_buffered(self, req: IoRequest, complete: Callable[[IoRequest], None]) -> None:
+        """Buffered read or write from an app."""
+        if req.op == OpType.WRITE:
+            self._buffered_write(req, complete)
+        else:
+            self._buffered_read(req, complete)
+
+    def _outstanding_bytes(self, cgroup_path: str) -> int:
+        return self.dirty_by_cgroup.get(cgroup_path, 0) + self._writeback_bytes_by_cgroup.get(
+            cgroup_path, 0
+        )
+
+    def _active_dirtiers(self) -> int:
+        active = {
+            path
+            for path, size in self.dirty_by_cgroup.items()
+            if size > 0 or self._writeback_bytes_by_cgroup.get(path, 0) > 0
+        }
+        active.update(cgroup for cgroup, _, _ in self._blocked_writers)
+        return max(1, len(active))
+
+    def _cgroup_hard_limit(self) -> float:
+        """Each active dirtier's share of the global dirty budget."""
+        return self.config.dirty_hard_bytes / self._active_dirtiers()
+
+    def _buffered_write(self, req, complete) -> None:
+        if self._outstanding_bytes(req.cgroup_path) + req.size > self._cgroup_hard_limit():
+            # balance_dirty_pages: the writer stalls until writeback
+            # frees enough of *its own* dirty budget.
+            self.stats_writer_stalls += 1
+            self._blocked_writers.append(
+                (req.cgroup_path, req.size, lambda: self._buffered_write(req, complete))
+            )
+            self._kick_writeback()
+            return
+        self._dirty(req.cgroup_path, req.size)
+        self.stats_buffered_writes += 1
+        self.sim.schedule(self.config.copy_latency_us, lambda: complete(req))
+        self._kick_writeback()
+
+    def _buffered_read(self, req, complete) -> None:
+        if self.rng.random() < self.config.read_hit_ratio:
+            self.stats_read_hits += 1
+            self.sim.schedule(self.config.copy_latency_us, lambda: complete(req))
+        else:
+            self.stats_read_misses += 1
+            self.submit_direct(req)
+
+    # ------------------------------------------------------------------
+    # Dirty accounting and writeback
+    # ------------------------------------------------------------------
+    def _dirty(self, cgroup_path: str, size: int) -> None:
+        self.dirty_by_cgroup[cgroup_path] = (
+            self.dirty_by_cgroup.get(cgroup_path, 0) + size
+        )
+        self.total_dirty += size
+
+    def _clean(self, cgroup_path: str, size: int) -> None:
+        remaining = self.dirty_by_cgroup.get(cgroup_path, 0)
+        take = min(remaining, size)
+        self.dirty_by_cgroup[cgroup_path] = remaining - take
+        self.total_dirty -= take
+
+    def _kick_writeback(self) -> None:
+        while (
+            self._writeback_in_flight < self.config.writeback_depth
+            and self._writeback_needed()
+        ):
+            victim = self._pick_victim()
+            if victim is None:
+                return
+            chunk = min(
+                self.config.writeback_chunk_bytes, self.dirty_by_cgroup[victim]
+            )
+            self._clean(victim, chunk)
+            owner_cgroup = victim if self.config.attributed else FLUSHER_CGROUP
+            wb_req = IoRequest(
+                app_name=FLUSHER_NAME,
+                cgroup_path=owner_cgroup,
+                op=OpType.WRITE,
+                pattern=Pattern.SEQUENTIAL,
+                size=chunk,
+                device_index=self.device_index,
+            )
+            wb_req.submit_time = self.sim.now
+            self._writeback_in_flight += 1
+            self._writeback_bytes_by_cgroup[victim] = (
+                self._writeback_bytes_by_cgroup.get(victim, 0) + chunk
+            )
+            self._wb_origin[id(wb_req)] = victim
+            self.stats_writeback_ios += 1
+            self.submit_direct(wb_req)
+
+    def _writeback_needed(self) -> bool:
+        if self._blocked_writers:
+            return self.total_dirty > 0
+        return self.total_dirty > self.config.dirty_background_bytes
+
+    def _pick_victim(self) -> str | None:
+        """The cgroup with the most dirty bytes flushes first."""
+        candidates = {
+            path: size for path, size in self.dirty_by_cgroup.items() if size > 0
+        }
+        if not candidates:
+            return None
+        return max(candidates, key=candidates.get)
+
+    def on_writeback_complete(self, req: IoRequest) -> None:
+        """A writeback chunk finished at the device."""
+        self._writeback_in_flight -= 1
+        origin = self._wb_origin.pop(id(req), req.cgroup_path)
+        self._writeback_bytes_by_cgroup[origin] = max(
+            0, self._writeback_bytes_by_cgroup.get(origin, 0) - req.size
+        )
+        self._wake_blocked_writers()
+        self._kick_writeback()
+
+    def _wake_blocked_writers(self) -> None:
+        # Wake in FIFO order, but only writers whose own cgroup budget
+        # has room; others keep waiting (per-tenant throttling).
+        still_blocked: deque = deque()
+        limit = self._cgroup_hard_limit()
+        woken = []
+        while self._blocked_writers:
+            cgroup, size, wake = self._blocked_writers.popleft()
+            if self._outstanding_bytes(cgroup) + size <= limit:
+                woken.append(wake)
+            else:
+                still_blocked.append((cgroup, size, wake))
+        self._blocked_writers = still_blocked
+        for wake in woken:
+            wake()
+
+    # ------------------------------------------------------------------
+    @property
+    def blocked_writers(self) -> int:
+        return len(self._blocked_writers)

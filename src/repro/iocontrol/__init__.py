@@ -1,0 +1,40 @@
+"""Linux I/O control mechanisms, re-implemented from their algorithms.
+
+Two kinds of mechanism exist, matching the kernel's block layer:
+
+* **Schedulers** order/gate dispatch at the request queue:
+  ``none`` (FIFO passthrough), ``mq-deadline`` (per-priority-class queues
+  with an anti-starvation aging timeout, driven by ``io.prio.class``),
+  ``bfq`` (budget fair queueing over cgroup weights with slice idling,
+  driven by ``io.bfq.weight``).
+* **Throttlers** sit at the cgroup layer above the scheduler:
+  ``io.max`` (token buckets), ``io.latency`` (windowed queue-depth
+  throttling with ``use_delay``), ``io.cost`` (vtime/vrate budgeting over
+  a linear device cost model, with ``io.weight``).
+
+Each implementation documents the kernel behaviour it reproduces and the
+paper observation that depends on it.
+"""
+
+from repro.iocontrol.base import IoScheduler, ThrottleLayer, PassthroughThrottle
+from repro.iocontrol.nonectl import NoneScheduler
+from repro.iocontrol.mq_deadline import MqDeadlineScheduler
+from repro.iocontrol.bfq import BfqScheduler
+from repro.iocontrol.iomax import IoMaxController
+from repro.iocontrol.iolatency import IoLatencyController
+from repro.iocontrol.iocost import IoCostController, cost_coefficients
+from repro.iocontrol.dispatch import DispatchEngine
+
+__all__ = [
+    "IoScheduler",
+    "ThrottleLayer",
+    "PassthroughThrottle",
+    "NoneScheduler",
+    "MqDeadlineScheduler",
+    "BfqScheduler",
+    "IoMaxController",
+    "IoLatencyController",
+    "IoCostController",
+    "cost_coefficients",
+    "DispatchEngine",
+]

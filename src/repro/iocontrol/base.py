@@ -1,0 +1,79 @@
+"""Interfaces between the block-layer pieces.
+
+The pipeline is: app -> (cpu submit cost) -> :class:`ThrottleLayer`
+-> :class:`IoScheduler` -> dispatch engine -> device -> (cpu complete
+cost) -> app. Throttlers may hold a request back before it becomes
+visible to the scheduler, exactly where blk-throttle / blk-iolatency /
+blk-iocost sit in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.iorequest import IoRequest
+
+ForwardFn = Callable[[IoRequest], None]
+
+
+class ThrottleLayer:
+    """cgroup-level I/O controller (io.max / io.latency / io.cost)."""
+
+    name = "throttle"
+
+    def start(self) -> None:
+        """Arm periodic timers. Called once when the scenario starts."""
+
+    def submit(self, req: IoRequest, forward: ForwardFn) -> None:
+        """Admit ``req`` downstream (possibly later) by calling ``forward``."""
+        raise NotImplementedError
+
+    def on_complete(self, req: IoRequest) -> None:
+        """Observe a completion (latency samples, budget accounting)."""
+
+    def pending(self) -> int:
+        """Requests currently held back by this controller.
+
+        Feeds the work-conservation probe: held-back requests while the
+        device has idle capacity are sacrificed utilization (§II-B).
+        """
+        return 0
+
+
+class PassthroughThrottle(ThrottleLayer):
+    """No cgroup throttling configured: requests pass straight through."""
+
+    name = "none"
+
+    def submit(self, req: IoRequest, forward: ForwardFn) -> None:
+        forward(req)
+
+
+class IoScheduler:
+    """Block-layer I/O scheduler for one device (request queue).
+
+    ``pop`` returns ``(request, retry_at)``: a request to dispatch, or
+    ``None`` plus an optional absolute time at which the dispatch engine
+    should ask again (used by BFQ's slice idling and MQ-DL's aging).
+    """
+
+    name = "scheduler"
+    # Time spent inside the serialized dispatch section per request. This
+    # is the single-lock bottleneck the paper identifies as the bandwidth
+    # scalability ceiling of MQ-DL and BFQ (O2).
+    lock_overhead_us = 0.0
+
+    def add(self, req: IoRequest) -> None:
+        """Insert a request into the scheduler's queues."""
+        raise NotImplementedError
+
+    def pop(self, now: float) -> tuple[Optional[IoRequest], Optional[float]]:
+        """Pick the next request to dispatch (policy decision point)."""
+        raise NotImplementedError
+
+    def on_complete(self, req: IoRequest) -> None:
+        """Observe a completion (slice/in-flight accounting)."""
+
+    def queued(self) -> int:
+        """Number of requests currently held in scheduler queues."""
+        raise NotImplementedError

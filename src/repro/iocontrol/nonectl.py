@@ -1,0 +1,36 @@
+"""The ``none`` scheduler: FIFO passthrough.
+
+This is the NVMe default and the paper's baseline ("no knob"). Requests
+dispatch in arrival order with a negligible serialized section, so the
+device itself is the only bottleneck -- which is why "none" defines the
+saturation bandwidth every other knob is compared against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.iocontrol.base import IoScheduler
+from repro.iorequest import IoRequest
+
+
+class NoneScheduler(IoScheduler):
+    """FIFO dispatch, per-CPU submission (no shared lock to speak of)."""
+
+    name = "none"
+    lock_overhead_us = 0.15
+
+    def __init__(self) -> None:
+        self._queue: deque[IoRequest] = deque()
+
+    def add(self, req: IoRequest) -> None:
+        self._queue.append(req)
+
+    def pop(self, now: float) -> tuple[Optional[IoRequest], Optional[float]]:
+        if self._queue:
+            return self._queue.popleft(), None
+        return None, None
+
+    def queued(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,154 @@
+"""Per-app completion recording and measurement-window views.
+
+The collector is the simulation's fio output: every completed request is
+recorded per app (completion time, latency, size, direction) and windowed
+statistics are derived afterwards. Apps also report their cgroup so
+results can be aggregated per group (the unit the fairness desideratum
+is evaluated at).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iorequest import GIB, MIB, IoRequest, OpType
+from repro.metrics.latency import LatencySummary, summarize_latencies
+
+
+class _AppLog:
+    """Completion log of one app."""
+
+    __slots__ = ("cgroup_path", "times", "latencies", "sizes", "ops", "total_bytes")
+
+    def __init__(self, cgroup_path: str):
+        self.cgroup_path = cgroup_path
+        self.times: list[float] = []
+        self.latencies: list[float] = []
+        self.sizes: list[int] = []
+        self.ops: list[int] = []
+        self.total_bytes = 0
+
+
+@dataclass(frozen=True)
+class AppWindowStats:
+    """One app's (or group's) statistics over a measurement window."""
+
+    name: str
+    cgroup_path: str
+    ios: int
+    bytes: int
+    window_us: float
+    latency: LatencySummary | None
+
+    @property
+    def bandwidth_mib_s(self) -> float:
+        return self.bytes / MIB / (self.window_us / 1e6) if self.window_us > 0 else 0.0
+
+    @property
+    def bandwidth_gib_s(self) -> float:
+        return self.bytes / GIB / (self.window_us / 1e6) if self.window_us > 0 else 0.0
+
+    @property
+    def iops(self) -> float:
+        return self.ios / (self.window_us / 1e6) if self.window_us > 0 else 0.0
+
+
+class MetricsCollector:
+    """Records completions for every app in a scenario."""
+
+    def __init__(self) -> None:
+        self._logs: dict[str, _AppLog] = {}
+
+    def register_app(self, app_name: str, cgroup_path: str) -> None:
+        if app_name in self._logs:
+            raise ValueError(f"app {app_name!r} registered twice")
+        self._logs[app_name] = _AppLog(cgroup_path)
+
+    def on_complete(self, req: IoRequest) -> None:
+        log = self._logs[req.app_name]
+        log.times.append(req.complete_time)
+        log.latencies.append(req.latency_us)
+        log.sizes.append(req.size)
+        log.ops.append(int(req.op))
+        log.total_bytes += req.size
+
+    # ------------------------------------------------------------------
+    # Window views
+    # ------------------------------------------------------------------
+    def app_names(self) -> list[str]:
+        return sorted(self._logs)
+
+    def cgroup_of(self, app_name: str) -> str:
+        return self._logs[app_name].cgroup_path
+
+    def window_latencies(self, app_name: str, t_start: float, t_end: float) -> list[float]:
+        """Raw latency samples completing within the window."""
+        log = self._logs[app_name]
+        return [
+            lat
+            for time, lat in zip(log.times, log.latencies)
+            if t_start <= time < t_end
+        ]
+
+    def app_stats(self, app_name: str, t_start: float, t_end: float) -> AppWindowStats:
+        """Window statistics for one app."""
+        log = self._logs[app_name]
+        total_bytes = 0
+        ios = 0
+        latencies: list[float] = []
+        for time, lat, size in zip(log.times, log.latencies, log.sizes):
+            if t_start <= time < t_end:
+                total_bytes += size
+                ios += 1
+                latencies.append(lat)
+        return AppWindowStats(
+            name=app_name,
+            cgroup_path=log.cgroup_path,
+            ios=ios,
+            bytes=total_bytes,
+            window_us=t_end - t_start,
+            latency=summarize_latencies(latencies) if latencies else None,
+        )
+
+    def cgroup_stats(self, t_start: float, t_end: float) -> dict[str, AppWindowStats]:
+        """Aggregated per-cgroup statistics (the fairness unit)."""
+        by_group: dict[str, list[AppWindowStats]] = {}
+        for app_name in self._logs:
+            stats = self.app_stats(app_name, t_start, t_end)
+            by_group.setdefault(stats.cgroup_path, []).append(stats)
+        merged: dict[str, AppWindowStats] = {}
+        for path, stats_list in by_group.items():
+            all_lat: list[float] = []
+            for stats in stats_list:
+                all_lat.extend(self.window_latencies(stats.name, t_start, t_end))
+            merged[path] = AppWindowStats(
+                name=path,
+                cgroup_path=path,
+                ios=sum(s.ios for s in stats_list),
+                bytes=sum(s.bytes for s in stats_list),
+                window_us=t_end - t_start,
+                latency=summarize_latencies(all_lat) if all_lat else None,
+            )
+        return merged
+
+    def total_bytes(self, t_start: float, t_end: float) -> int:
+        """Aggregate bytes completed by all apps in the window."""
+        return sum(
+            self.app_stats(app_name, t_start, t_end).bytes for app_name in self._logs
+        )
+
+    def series_of(self, app_name: str) -> tuple[list[float], list[int]]:
+        """Raw (completion_times, sizes) for time-series plotting."""
+        log = self._logs[app_name]
+        return log.times, log.sizes
+
+    def lifetime_bytes_of_cgroup(self, cgroup_path: str) -> int:
+        """Total bytes completed by a cgroup's apps since the start.
+
+        Used by the dynamic io.max manager's activity detection.
+        """
+        return sum(
+            log.total_bytes
+            for log in self._logs.values()
+            if log.cgroup_path == cgroup_path
+        )

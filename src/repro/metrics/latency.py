@@ -1,0 +1,87 @@
+"""Latency statistics: percentiles, CDFs, summaries.
+
+The paper evaluates latency "as P99 or as a CDF" (§III); these helpers
+are shared by the metrics layer and by the controllers themselves
+(io.latency's P90 window check, io.cost's QoS percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``samples``.
+
+    Raises ``ValueError`` on an empty sample set: callers decide how to
+    treat windows with no I/O rather than silently reading 0.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # This form is monotone and never exceeds ordered[high], unlike the
+    # (1-f)*a + f*b form which can overshoot by one ulp.
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+def cdf(samples: Sequence[float], points: int = 200) -> tuple[list[float], list[float]]:
+    """Empirical CDF resampled at ``points`` evenly spaced probabilities.
+
+    Returns ``(latencies, cumulative_probabilities)`` -- the paper's
+    Fig. 3 axes.
+    """
+    if not samples:
+        raise ValueError("cdf of empty sample set")
+    if points < 2:
+        raise ValueError(f"cdf needs >= 2 points, got {points}")
+    probs = [i / (points - 1) for i in range(points)]
+    values = [percentile(samples, p * 100.0) for p in probs]
+    return values, probs
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The latency profile the paper reports per app."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p90_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_us:.1f}us "
+            f"p50={self.p50_us:.1f} p90={self.p90_us:.1f} "
+            f"p99={self.p99_us:.1f} max={self.max_us:.1f}"
+        )
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary`; raises on an empty sample set."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    ordered = sorted(samples)
+    return LatencySummary(
+        count=len(ordered),
+        mean_us=sum(ordered) / len(ordered),
+        p50_us=percentile(ordered, 50.0),
+        p90_us=percentile(ordered, 90.0),
+        p95_us=percentile(ordered, 95.0),
+        p99_us=percentile(ordered, 99.0),
+        max_us=ordered[-1],
+    )

@@ -1,0 +1,58 @@
+"""Bandwidth time series (the paper's Fig. 2 plots).
+
+Completions are bucketized into fixed intervals; each bucket reports
+MiB/s. Used by the knob-example bench and the burst-response analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.iorequest import MIB
+
+
+def bandwidth_series(
+    completion_times_us: Sequence[float],
+    sizes: Sequence[int],
+    t_start_us: float,
+    t_end_us: float,
+    bucket_us: float = 1_000_000.0,
+) -> tuple[list[float], list[float]]:
+    """Bucketize completions into a ``(times_s, mib_per_s)`` series.
+
+    Buckets cover ``[t_start_us, t_end_us)``; the returned times are
+    bucket start offsets in seconds from ``t_start_us``.
+    """
+    if bucket_us <= 0:
+        raise ValueError("bucket width must be positive")
+    if t_end_us <= t_start_us:
+        raise ValueError("empty time range")
+    n_buckets = int((t_end_us - t_start_us) / bucket_us)
+    if n_buckets < 1:
+        raise ValueError("time range shorter than one bucket")
+    bytes_per_bucket = [0] * n_buckets
+    for time_us, size in zip(completion_times_us, sizes):
+        if not t_start_us <= time_us < t_start_us + n_buckets * bucket_us:
+            continue
+        bytes_per_bucket[int((time_us - t_start_us) / bucket_us)] += size
+    seconds_per_bucket = bucket_us / 1e6
+    times_s = [i * seconds_per_bucket for i in range(n_buckets)]
+    mib_per_s = [b / MIB / seconds_per_bucket for b in bytes_per_bucket]
+    return times_s, mib_per_s
+
+
+def time_to_reach(
+    times_s: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    after_s: float = 0.0,
+) -> float | None:
+    """First bucket time >= ``after_s`` whose value reaches ``threshold``.
+
+    Returns None if the threshold is never reached -- the primitive the
+    burst-response benchmark (Q10) is built on.
+    """
+    for time_s, value in zip(times_s, values):
+        if time_s >= after_s and value >= threshold:
+            return time_s
+    return None

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate for isol-bench.
+
+This package provides the minimal, fast primitives the rest of the
+reproduction is built on:
+
+* :class:`~repro.sim.engine.Simulator` -- an event loop with a simulated
+  microsecond clock.
+* :class:`~repro.sim.resources.QueuedServer` -- a FIFO multi-server resource
+  (used for SSD flash units, the shared device bus, CPU cores, and
+  scheduler dispatch locks).
+* :class:`~repro.sim.resources.TokenBucket` -- a rate limiter (used by the
+  io.max controller and fio-style rate limits).
+* :class:`~repro.sim.rng.RngStreams` -- deterministic, named random streams.
+
+All times in the simulation are in **microseconds** (floats) and all sizes
+in **bytes** (ints) unless stated otherwise.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import QueuedServer, TokenBucket
+from repro.sim.rng import RngStreams
+
+__all__ = ["Simulator", "QueuedServer", "TokenBucket", "RngStreams"]

@@ -1,0 +1,28 @@
+"""Simulated NVMe SSD devices.
+
+The paper runs on real Samsung 980 PRO (flash) and Intel Optane SSDs; this
+package provides the synthetic equivalent: a request-level device model
+with the properties the paper's observations depend on --
+
+* internal parallelism (flash channels/planes) bounding random IOPS,
+* a shared data bus bounding sequential bandwidth,
+* asymmetric read/write costs,
+* garbage collection triggered by sustained writes (write amplification),
+* a bounded NVMe queue depth (1024, as in the paper's io.latency analysis).
+
+Presets approximate the two devices used in the paper at the scale the
+simulator runs at; see :mod:`repro.ssd.presets`.
+"""
+
+from repro.ssd.model import SsdModel
+from repro.ssd.device import SimulatedNvmeDevice
+from repro.ssd.array import SsdArray
+from repro.ssd.presets import samsung_980pro_like, intel_optane_like
+
+__all__ = [
+    "SsdModel",
+    "SimulatedNvmeDevice",
+    "SsdArray",
+    "samsung_980pro_like",
+    "intel_optane_like",
+]

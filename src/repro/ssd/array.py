@@ -1,0 +1,51 @@
+"""Multi-SSD arrays.
+
+The paper's scalability study (Fig. 4) round-robins batch apps over 1-7
+SSDs. :class:`SsdArray` owns the devices and implements that app-to-device
+assignment; each device gets its own scheduler instance downstream (as in
+Linux, where I/O schedulers are per request queue).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.engine import Simulator
+from repro.ssd.device import SimulatedNvmeDevice
+from repro.ssd.model import SsdModel
+
+
+class SsdArray:
+    """A set of identical simulated NVMe devices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: SsdModel,
+        count: int,
+        rng: random.Random,
+        preconditioned: bool = False,
+    ):
+        if count < 1:
+            raise ValueError(f"device count must be >= 1, got {count}")
+        self.model = model
+        self.devices = [
+            SimulatedNvmeDevice(sim, model, rng, index=i, preconditioned=preconditioned)
+            for i in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, index: int) -> SimulatedNvmeDevice:
+        return self.devices[index]
+
+    def device_for_app(self, app_index: int) -> int:
+        """Round-robin device assignment, as in the paper's Fig. 4 setup."""
+        return app_index % len(self.devices)
+
+    def total_bytes_completed(self) -> int:
+        """Aggregate bytes completed across the array (reads + writes)."""
+        return sum(
+            sum(device.bytes_completed.values()) for device in self.devices
+        )

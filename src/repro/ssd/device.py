@@ -1,0 +1,129 @@
+"""The simulated NVMe device: flash units in series with a data bus.
+
+A request entering the device:
+
+1. waits at the device boundary if ``nvme_max_qd`` requests are already in
+   flight (the bound the paper's io.latency analysis depends on),
+2. occupies one of ``parallelism`` flash units for its fixed access cost
+   (noisy, op/pattern dependent, write-amplified under GC),
+3. occupies the shared data bus for ``size / bus_bandwidth``,
+4. completes.
+
+Completions and byte counters feed the metrics layer; the device also
+exposes idle-capacity probes used by the work-conservation metric.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable
+
+from repro.iorequest import IoRequest, OpType
+from repro.sim.engine import Simulator
+from repro.sim.resources import QueuedServer
+from repro.ssd.gc import GcState
+from repro.ssd.model import SsdModel
+
+CompletionFn = Callable[[IoRequest], None]
+
+
+class SimulatedNvmeDevice:
+    """One NVMe namespace backed by the parametric SSD model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: SsdModel,
+        rng: random.Random,
+        index: int = 0,
+        preconditioned: bool = False,
+    ):
+        self.sim = sim
+        self.model = model
+        self.rng = rng
+        self.index = index
+        self.flash = QueuedServer(sim, model.parallelism, name=f"ssd{index}.flash")
+        self.bus = QueuedServer(sim, 1, name=f"ssd{index}.bus")
+        self.gc = GcState(model, preconditioned=preconditioned)
+        self._in_flight = 0
+        self._boundary_queue: deque[tuple[IoRequest, CompletionFn]] = deque()
+        # Lifetime counters (bytes moved, requests completed) per op.
+        self.bytes_completed = {OpType.READ: 0, OpType.WRITE: 0}
+        self.requests_completed = {OpType.READ: 0, OpType.WRITE: 0}
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def submit(self, req: IoRequest, done: CompletionFn) -> None:
+        """Accept a request; ``done(req)`` fires at device completion."""
+        if self._in_flight >= self.model.nvme_max_qd:
+            self._boundary_queue.append((req, done))
+        else:
+            self._start(req, done)
+
+    def _start(self, req: IoRequest, done: CompletionFn) -> None:
+        self._in_flight += 1
+        flash_cost = self.model.fixed_cost_us(req.op, req.pattern) * self._noise()
+        if req.op == OpType.WRITE:
+            flash_cost = self.gc.amplify(flash_cost)
+        self.flash.submit(flash_cost, lambda: self._bus_phase(req, done))
+
+    def _bus_phase(self, req: IoRequest, done: CompletionFn) -> None:
+        # Large transfers occupy the bus one segment at a time so small
+        # requests can interleave (see SsdModel.bus_segment_bytes).
+        segment = self.model.bus_segment_bytes
+        remaining_segments = max(1, -(-req.size // segment))
+        per_segment_cost = self.model.bus_cost_us(req.op, req.size) / remaining_segments
+        if req.op == OpType.WRITE:
+            per_segment_cost = self.gc.amplify(per_segment_cost)
+        self._bus_segment(req, done, per_segment_cost, remaining_segments)
+
+    def _bus_segment(
+        self, req: IoRequest, done: CompletionFn, cost: float, remaining: int
+    ) -> None:
+        if remaining <= 0:
+            self._finish(req, done)
+            return
+        self.bus.submit(
+            cost, lambda: self._bus_segment(req, done, cost, remaining - 1)
+        )
+
+    def _finish(self, req: IoRequest, done: CompletionFn) -> None:
+        self._in_flight -= 1
+        self.bytes_completed[req.op] += req.size
+        self.requests_completed[req.op] += 1
+        if req.op == OpType.WRITE:
+            self.gc.on_write(req.size)
+        if self._boundary_queue:
+            next_req, next_done = self._boundary_queue.popleft()
+            self._start(next_req, next_done)
+        done(req)
+
+    def _noise(self) -> float:
+        model = self.model
+        if model.noise_tail_mean <= 0:
+            return model.noise_base
+        return model.noise_base + self.rng.expovariate(1.0 / model.noise_tail_mean)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently inside the device (past the QD boundary)."""
+        return self._in_flight
+
+    @property
+    def boundary_queue_depth(self) -> int:
+        """Requests waiting because the NVMe queue bound was reached."""
+        return len(self._boundary_queue)
+
+    def has_idle_capacity(self) -> bool:
+        """True when at least one flash unit is idle.
+
+        The paper adopts the strict work-conservation definition: requests
+        pending anywhere while this returns True mean the I/O control is
+        non-work-conserving at that moment.
+        """
+        return self.flash.busy < self.model.parallelism

@@ -1,0 +1,109 @@
+"""Garbage-collection / write-amplification model.
+
+Flash SSDs cannot overwrite in place: sustained random writes force the
+FTL to relocate live data, multiplying internal write traffic by the
+write-amplification factor (WAF). We model steady-state GC as *inline
+amplification*: once the device is preconditioned, every host write
+charges ``WAF x`` its nominal flash and bus cost. This reproduces the two
+effects the paper relies on:
+
+* sustained random-write bandwidth collapses to ``nominal / WAF``;
+* reads queued behind amplified writes suffer interference, collapsing
+  aggregate mixed read/write bandwidth (Fig. 6b).
+
+An optional *pause injector* additionally blocks a fraction of flash
+units periodically, modelling foreground GC stalls (tail-latency spikes);
+it is off by default so scenario results stay smooth and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.ssd.model import SsdModel
+
+
+class GcState:
+    """Tracks preconditioning and computes the current amplification.
+
+    A fresh drive has spare erased blocks and no amplification; once the
+    host has written ``precondition_bytes`` (or the scenario preconditions
+    the drive explicitly, as the paper does before write experiments) the
+    device reaches steady state and every write is amplified.
+    """
+
+    def __init__(
+        self,
+        model: SsdModel,
+        preconditioned: bool = False,
+        precondition_bytes: int = 4 * 1024 * 1024 * 1024,
+    ):
+        self.model = model
+        self.enabled = model.gc_enabled
+        self.preconditioned = preconditioned or not self.enabled
+        self.precondition_bytes = precondition_bytes
+        self.host_bytes_written = 0
+        self.amplified_bytes = 0
+
+    def precondition(self) -> None:
+        """Force steady state (sequential fill + random overwrite, §III)."""
+        self.preconditioned = True
+
+    def on_write(self, size: int) -> None:
+        """Account a host write; may flip the device into steady state."""
+        self.host_bytes_written += size
+        if self.write_amplification > 1.0:
+            self.amplified_bytes += int(size * (self.write_amplification - 1.0))
+        if not self.preconditioned and self.host_bytes_written >= self.precondition_bytes:
+            self.preconditioned = True
+
+    @property
+    def write_amplification(self) -> float:
+        """Current effective WAF (1.0 before steady state or for Optane)."""
+        if not self.enabled or not self.preconditioned:
+            return 1.0
+        return self.model.gc.write_amplification
+
+    def amplify(self, cost_us: float) -> float:
+        """Scale a write's service cost by the current amplification."""
+        return cost_us * self.write_amplification
+
+
+class GcPauseInjector:
+    """Optional periodic GC stalls.
+
+    Every ``interval_us`` of amplified-write activity, occupies
+    ``units`` flash units for ``pause_us``, creating the latency spikes
+    real drives exhibit under sustained writes. Used by failure-injection
+    tests and the GC ablation bench.
+    """
+
+    def __init__(self, sim, flash_server, interval_us: float, pause_us: float, units: int):
+        if interval_us <= 0 or pause_us <= 0 or units < 1:
+            raise ValueError("GC pause parameters must be positive")
+        self.sim = sim
+        self.flash = flash_server
+        self.interval_us = interval_us
+        self.pause_us = pause_us
+        self.units = min(units, flash_server.capacity)
+        self._running = False
+
+    def start(self) -> None:
+        """Begin injecting pauses (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.interval_us, self._inject)
+
+    def stop(self) -> None:
+        """Stop after the current cycle."""
+        self._running = False
+
+    def _inject(self) -> None:
+        if not self._running:
+            return
+        for _ in range(self.units):
+            self.flash.submit(self.pause_us, _noop)
+        self.sim.schedule(self.interval_us, self._inject)
+
+
+def _noop() -> None:
+    return None

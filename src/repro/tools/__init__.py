@@ -1,0 +1,5 @@
+"""Operational tooling: io.cost model generation and the CLI."""
+
+from repro.tools.iocost_coef_gen import calibrate_model, derive_model, format_model_line
+
+__all__ = ["derive_model", "calibrate_model", "format_model_line"]

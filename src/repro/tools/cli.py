@@ -1,0 +1,154 @@
+"""isol-bench command-line interface.
+
+Subcommands mirror the benchmark suite::
+
+    isol-bench describe-device [flash|optane]
+    isol-bench coef-gen [flash|optane]       # io.cost model generation
+    isol-bench run --knob io.cost ...        # one ad-hoc scenario
+    isol-bench table1 [--quick]              # the paper's Table I
+
+All output is plain text; heavy lifting lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import KIB
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    MqDeadlineKnob,
+    NoneKnob,
+    Scenario,
+)
+from repro.core.runner import run_scenario
+from repro.ssd.model import describe_model
+from repro.ssd.presets import get_preset
+from repro.tools.iocost_coef_gen import derive_model, format_model_line
+from repro.workloads.apps import batch_app, lc_app
+
+
+def _cmd_describe_device(args: argparse.Namespace) -> int:
+    print(describe_model(get_preset(args.device)))
+    return 0
+
+
+def _cmd_coef_gen(args: argparse.Namespace) -> int:
+    ssd = get_preset(args.device)
+    model = derive_model(ssd, conservatism=args.conservatism)
+    print(format_model_line("259:0", model))
+    return 0
+
+
+def _make_knob(name: str):
+    knobs = {
+        "none": NoneKnob,
+        "mq-deadline": MqDeadlineKnob,
+        "bfq": BfqKnob,
+        "io.max": IoMaxKnob,
+        "io.latency": IoLatencyKnob,
+        "io.cost": IoCostKnob,
+    }
+    if name not in knobs:
+        raise SystemExit(f"unknown knob {name!r}; options: {sorted(knobs)}")
+    return knobs[name]()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    apps = []
+    for i in range(args.batch_apps):
+        apps.append(
+            batch_app(f"batch{i}", f"/tenants/batch{i}", size=args.size * KIB)
+        )
+    for i in range(args.lc_apps):
+        apps.append(lc_app(f"lc{i}", f"/tenants/lc{i}"))
+    if not apps:
+        raise SystemExit("need at least one app (--batch-apps/--lc-apps)")
+    scenario = Scenario(
+        name="cli-run",
+        knob=_make_knob(args.knob),
+        apps=apps,
+        ssd_model=get_preset(args.device),
+        num_devices=args.devices,
+        cores=args.cores,
+        duration_s=args.duration,
+        warmup_s=args.duration * 0.25,
+        device_scale=args.device_scale,
+        seed=args.seed,
+    )
+    result = run_scenario(scenario)
+    print(result.describe())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core.table_one import TableOneSettings, evaluate_table_one
+
+    if args.quick:
+        settings = TableOneSettings(
+            duration_s=0.25,
+            warmup_s=0.08,
+            fairness_duration_s=0.4,
+            iolatency_duration_s=7.0,
+            burst_duration_s=6.0,
+            device_scale=12.0,
+            burst_device_scale=20.0,
+            sweep_points=4,
+        )
+    else:
+        settings = TableOneSettings()
+    table = evaluate_table_one(settings)
+    print(table.render())
+    matches = table.matches_paper()
+    total = sum(matches.values())
+    print(f"\ncells matching the paper: {total}/{4 * len(matches)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="isol-bench",
+        description="Storage performance-isolation benchmark (IISWC'25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe-device", help="print a device preset's saturation points")
+    p.add_argument("device", nargs="?", default="flash", choices=("flash", "optane"))
+    p.set_defaults(fn=_cmd_describe_device)
+
+    p = sub.add_parser("coef-gen", help="generate an io.cost.model line")
+    p.add_argument("device", nargs="?", default="flash", choices=("flash", "optane"))
+    p.add_argument("--conservatism", type=float, default=0.78)
+    p.set_defaults(fn=_cmd_coef_gen)
+
+    p = sub.add_parser("run", help="run one ad-hoc scenario")
+    p.add_argument("--knob", default="none")
+    p.add_argument("--device", default="flash", choices=("flash", "optane"))
+    p.add_argument("--devices", type=int, default=1)
+    p.add_argument("--cores", type=int, default=10)
+    p.add_argument("--batch-apps", type=int, default=2)
+    p.add_argument("--lc-apps", type=int, default=0)
+    p.add_argument("--size", type=int, default=4, help="request size in KiB")
+    p.add_argument("--duration", type=float, default=0.5)
+    p.add_argument("--device-scale", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("table1", help="reproduce the paper's Table I")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(fn=_cmd_table1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's app archetypes (§II-A, §III).
+
+* **LC-apps** need low P99 tail latency: 4 KiB random reads at QD=1.
+* **batch-apps** need high bandwidth: 4 KiB random reads at QD=256
+  (request size and direction overridable for the mixed-workload
+  fairness experiments).
+* **BE-apps** have no requirements; configured like batch-apps and used
+  as background load/interference.
+"""
+
+from __future__ import annotations
+
+from repro.iorequest import KIB, Pattern
+from repro.workloads.spec import ActivityWindow, JobSpec
+
+LC_QUEUE_DEPTH = 1
+BATCH_QUEUE_DEPTH = 256
+
+
+def lc_app(
+    name: str,
+    cgroup_path: str,
+    size: int = 4 * KIB,
+    windows: tuple[ActivityWindow, ...] = (ActivityWindow(0.0),),
+) -> JobSpec:
+    """A latency-critical app: QD=1 random reads."""
+    return JobSpec(
+        name=name,
+        cgroup_path=cgroup_path,
+        size=size,
+        pattern=Pattern.RANDOM,
+        read_fraction=1.0,
+        queue_depth=LC_QUEUE_DEPTH,
+        windows=windows,
+        app_class="lc",
+    )
+
+
+def batch_app(
+    name: str,
+    cgroup_path: str,
+    size: int = 4 * KIB,
+    pattern: Pattern = Pattern.RANDOM,
+    read_fraction: float = 1.0,
+    queue_depth: int = BATCH_QUEUE_DEPTH,
+    rate_limit_bps: float | None = None,
+    windows: tuple[ActivityWindow, ...] = (ActivityWindow(0.0),),
+) -> JobSpec:
+    """A throughput-oriented batch app: deep-queue random reads."""
+    return JobSpec(
+        name=name,
+        cgroup_path=cgroup_path,
+        size=size,
+        pattern=pattern,
+        read_fraction=read_fraction,
+        queue_depth=queue_depth,
+        rate_limit_bps=rate_limit_bps,
+        windows=windows,
+        app_class="batch",
+    )
+
+
+def be_app(
+    name: str,
+    cgroup_path: str,
+    size: int = 4 * KIB,
+    pattern: Pattern = Pattern.RANDOM,
+    read_fraction: float = 1.0,
+    queue_depth: int = BATCH_QUEUE_DEPTH,
+    windows: tuple[ActivityWindow, ...] = (ActivityWindow(0.0),),
+) -> JobSpec:
+    """A best-effort app: background load with no requirements."""
+    return JobSpec(
+        name=name,
+        cgroup_path=cgroup_path,
+        size=size,
+        pattern=pattern,
+        read_fraction=read_fraction,
+        queue_depth=queue_depth,
+        windows=windows,
+        app_class="be",
+    )

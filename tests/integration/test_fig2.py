@@ -1,0 +1,128 @@
+"""Fig. 2 timeline dynamics as integration tests.
+
+The panels are run at a compressed timeline (except io.latency, whose
+500 ms windows need more room) and each paper-described behaviour is
+asserted on the bandwidth time series.
+"""
+
+import pytest
+
+from repro.core.fig2 import run_fig2_panel
+
+FAST = dict(time_scale=0.1, device_scale=8.0)
+
+# Timeline landmarks in paper seconds.
+SOLO_A = (3, 9)  # only A running
+CONTENTION = (25, 48)  # A, B, C all running
+AFTER_A = (55, 68)  # only B running
+
+
+@pytest.fixture(scope="module")
+def none_panel():
+    return run_fig2_panel("none", **FAST)
+
+
+class TestNonePanel:
+    def test_solo_app_reaches_rate_cap(self, none_panel):
+        assert none_panel.mean_between("A", *SOLO_A) == pytest.approx(1536, rel=0.05)
+
+    def test_contention_splits_evenly(self, none_panel):
+        a = none_panel.mean_between("A", *CONTENTION)
+        b = none_panel.mean_between("B", *CONTENTION)
+        c = none_panel.mean_between("C", *CONTENTION)
+        assert a == pytest.approx(b, rel=0.1)
+        assert b == pytest.approx(c, rel=0.1)
+        # Device saturated: each app below its 1.5 GiB/s cap.
+        assert a < 1300
+
+    def test_b_recovers_after_a_stops(self, none_panel):
+        assert none_panel.mean_between("B", *AFTER_A) == pytest.approx(1536, rel=0.05)
+
+    def test_apps_silent_outside_their_windows(self, none_panel):
+        assert none_panel.mean_between("C", *AFTER_A) == 0.0
+        assert none_panel.mean_between("B", 3, 9) == 0.0
+
+
+class TestMqDeadlinePanel:
+    def test_strict_priority_starves_lower_classes(self):
+        panel = run_fig2_panel("mq-deadline", **FAST)
+        a = panel.mean_between("A", *CONTENTION)
+        b = panel.mean_between("B", *CONTENTION)
+        c = panel.mean_between("C", *CONTENTION)
+        # Paper: ~1.5 GiB/s for realtime, tens of KiB/s for the rest.
+        assert a == pytest.approx(1536, rel=0.05)
+        assert b < 0.02 * a
+        assert c < 0.02 * a
+
+
+class TestBfqPanels:
+    def test_uniform_weights_split_evenly(self):
+        panel = run_fig2_panel("bfq-uniform", **FAST)
+        values = [panel.mean_between(app, *CONTENTION) for app in "ABC"]
+        assert max(values) < 1.15 * min(values)
+
+    def test_weighted_split_follows_weights(self):
+        panel = run_fig2_panel("bfq-weighted", **FAST)
+        a = panel.mean_between("A", *CONTENTION)
+        b = panel.mean_between("B", *CONTENTION)
+        c = panel.mean_between("C", *CONTENTION)
+        # Weights 400:200:100 -> monotone ordering, A >= ~2.5x C.
+        assert a > b > c
+        assert a > 2.5 * c
+
+
+class TestIoMaxPanel:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_fig2_panel("io.max", **FAST)
+
+    def test_caps_respected(self, panel):
+        for app in "ABC":
+            assert panel.mean_between(app, *CONTENTION) <= 1024 * 1.05
+
+    def test_static_no_reclaim_after_a_stops(self, panel):
+        # B stays at its cap instead of using the freed device (O8).
+        assert panel.mean_between("B", *AFTER_A) == pytest.approx(1024, rel=0.05)
+
+
+class TestIoLatencyPanel:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        # io.latency's 500 ms windows need the longer timeline.
+        return run_fig2_panel("io.latency", time_scale=0.5, device_scale=8.0)
+
+    def test_protected_app_keeps_bandwidth(self, panel):
+        assert panel.mean_between("A", 35, 48) > 1400
+
+    def test_others_throttled_to_few_hundred_mib(self, panel):
+        assert panel.mean_between("B", 35, 48) < 900
+        assert panel.mean_between("C", 35, 48) < 900
+
+    def test_use_delay_blocks_recovery_after_a_stops(self, panel):
+        # Paper Fig. 2f: throughput does not recover when A stops.
+        assert panel.mean_between("B", *AFTER_A) < 900
+
+
+class TestIoCostPanels:
+    def test_unweighted_costs_bandwidth(self):
+        panel = run_fig2_panel("io.cost", **FAST)
+        none_total = 3 * 1058  # from the none panel at contention
+        total = sum(panel.mean_between(app, *CONTENTION) for app in "ABC")
+        assert total < 0.95 * none_total
+
+    def test_weighted_prioritizes_by_weight(self):
+        panel = run_fig2_panel("io.cost-weighted", **FAST)
+        a = panel.mean_between("A", *CONTENTION)
+        b = panel.mean_between("B", *CONTENTION)
+        c = panel.mean_between("C", *CONTENTION)
+        # Weights 600:300:100.
+        assert a > 1.5 * b > 0
+        assert b > 1.5 * c > 0
+
+    def test_iocost_reclaims_after_a_stops(self):
+        panel = run_fig2_panel("io.cost-weighted", **FAST)
+        during = panel.mean_between("B", *CONTENTION)
+        after = panel.mean_between("B", *AFTER_A)
+        # Unlike io.max, weight-based sharing is work-conserving among
+        # active groups: B's share grows once A leaves.
+        assert after > 1.5 * during

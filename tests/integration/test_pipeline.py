@@ -1,0 +1,166 @@
+"""End-to-end pipeline tests: apps -> cgroups -> knob -> device -> metrics.
+
+These use small scaled scenarios that still exercise every code path.
+"""
+
+import pytest
+
+from repro import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    MIB,
+    MqDeadlineKnob,
+    NoneKnob,
+    Scenario,
+    run_scenario,
+)
+from repro.iorequest import GIB, OpType
+from repro.ssd.presets import intel_optane_like, samsung_980pro_like
+from repro.workloads.apps import batch_app, be_app, lc_app
+
+
+def quick_scenario(knob, apps, **overrides):
+    kwargs = dict(
+        name="it",
+        knob=knob,
+        apps=apps,
+        duration_s=0.2,
+        warmup_s=0.05,
+        device_scale=8.0,
+        cores=4,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+KNOBS = [
+    NoneKnob(),
+    # Short aging so the starved best-effort app still completes I/O
+    # within this test's 0.2 s run.
+    MqDeadlineKnob(classes={"/t/a0": "realtime"}, prio_aging_expire_us=20_000.0),
+    BfqKnob(weights={"/t/a0": 500}),
+    IoMaxKnob(limits={"/t/a0": {"rbps": 50 * MIB}}),
+    IoLatencyKnob(targets_us={"/t/a0": 500.0}),
+    IoCostKnob(weights={"/t/a0": 500}),
+]
+
+
+@pytest.mark.parametrize("knob", KNOBS, ids=lambda k: k.label)
+def test_every_knob_end_to_end(knob):
+    apps = [batch_app(f"a{i}", f"/t/a{i}", queue_depth=16) for i in range(2)]
+    result = run_scenario(quick_scenario(knob, apps))
+    for app in apps:
+        stats = result.app_stats(app.name)
+        assert stats.ios > 0, f"{knob.label}: {app.name} completed nothing"
+        assert stats.latency is not None
+    assert result.aggregate_bandwidth_gib_s > 0
+
+
+def test_latencies_are_physically_plausible():
+    result = run_scenario(
+        quick_scenario(NoneKnob(), [lc_app("lc", "/t/lc")], device_scale=1.0, cores=1)
+    )
+    stats = result.app_stats("lc")
+    # QD1 read: device ~63-75us + CPU ~8us.
+    assert 60.0 < stats.latency.p50_us < 120.0
+    assert stats.latency.p99_us < 220.0
+
+
+def test_aggregate_saturation_close_to_device_nominal():
+    ssd = samsung_980pro_like()
+    apps = [batch_app(f"b{i}", f"/t/b{i}", queue_depth=64) for i in range(4)]
+    result = run_scenario(
+        quick_scenario(NoneKnob(), apps, device_scale=4.0, cores=10)
+    )
+    equivalent = result.equivalent_bandwidth_gib_s
+    assert 2.5 < equivalent < 3.4  # paper: 2.94 GiB/s
+
+
+def test_multi_device_round_robin():
+    apps = [batch_app(f"b{i}", f"/t/b{i}", queue_depth=32) for i in range(4)]
+    result = run_scenario(
+        quick_scenario(NoneKnob(), apps, num_devices=2, cores=8)
+    )
+    host = result.host
+    assert len(host.devices) == 2
+    for device in host.devices.devices:
+        assert device.requests_completed[OpType.READ] > 0
+
+
+def test_two_devices_double_bandwidth():
+    apps = [batch_app(f"b{i}", f"/t/b{i}", queue_depth=64) for i in range(4)]
+    one = run_scenario(quick_scenario(NoneKnob(), apps, num_devices=1, cores=8))
+    two = run_scenario(quick_scenario(NoneKnob(), apps, num_devices=2, cores=8))
+    assert two.aggregate_bandwidth_gib_s > 1.6 * one.aggregate_bandwidth_gib_s
+
+
+def test_optane_preset_runs():
+    result = run_scenario(
+        quick_scenario(
+            NoneKnob(),
+            [lc_app("lc", "/t/lc")],
+            ssd_model=intel_optane_like(),
+            device_scale=1.0,
+            cores=1,
+        )
+    )
+    # Optane QD1 latency is ~10us + CPU.
+    assert result.app_stats("lc").latency.p50_us < 40.0
+
+
+def test_write_workload_with_preconditioning_is_slower():
+    writer = [batch_app("w", "/t/w", read_fraction=0.0, queue_depth=32)]
+    fresh = run_scenario(quick_scenario(NoneKnob(), writer, preconditioned=False))
+    steady = run_scenario(quick_scenario(NoneKnob(), writer, preconditioned=True))
+    assert (
+        steady.aggregate_bandwidth_gib_s < 0.7 * fresh.aggregate_bandwidth_gib_s
+    )
+
+
+def test_prio_class_read_from_own_group_only():
+    knob = MqDeadlineKnob(classes={"/t/a0": "idle"})
+    apps = [batch_app("a0", "/t/a0", queue_depth=8), batch_app("a1", "/t/a1", queue_depth=8)]
+    result = run_scenario(quick_scenario(knob, apps))
+    host = result.host
+    assert host.apps["a0"].prio_class == 3  # idle
+    assert host.apps["a1"].prio_class == 0  # unset
+
+
+def test_deterministic_given_seed():
+    apps = [batch_app("a", "/t/a", queue_depth=8)]
+    first = run_scenario(quick_scenario(NoneKnob(), apps, seed=7))
+    second = run_scenario(quick_scenario(NoneKnob(), apps, seed=7))
+    assert first.app_stats("a").ios == second.app_stats("a").ios
+    assert first.app_stats("a").latency.p99_us == second.app_stats("a").latency.p99_us
+
+
+def test_different_seeds_differ():
+    apps = [batch_app("a", "/t/a", queue_depth=8)]
+    first = run_scenario(quick_scenario(NoneKnob(), apps, seed=1))
+    second = run_scenario(quick_scenario(NoneKnob(), apps, seed=2))
+    assert (
+        first.app_stats("a").latency.p99_us != second.app_stats("a").latency.p99_us
+    )
+
+
+def test_describe_renders():
+    apps = [batch_app("a", "/t/a", queue_depth=8)]
+    result = run_scenario(quick_scenario(NoneKnob(), apps))
+    text = result.describe()
+    assert "aggregate bandwidth" in text
+    assert "a" in text
+
+
+def test_fairness_helper_defaults_to_uniform_weights():
+    apps = [batch_app(f"b{i}", f"/t/b{i}", queue_depth=32) for i in range(2)]
+    result = run_scenario(quick_scenario(NoneKnob(), apps))
+    assert 0.9 <= result.fairness() <= 1.0
+
+
+def test_fairness_helper_rejects_missing_weights():
+    apps = [batch_app("a", "/t/a", queue_depth=8)]
+    result = run_scenario(quick_scenario(NoneKnob(), apps))
+    with pytest.raises(ValueError):
+        result.fairness({"/t/other": 1.0})

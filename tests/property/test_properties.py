@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for core data structures/invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iocontrol.iocost import _water_fill
+from repro.metrics.fairness import jain_index, weighted_jain_index
+from repro.metrics.latency import cdf, percentile
+from repro.sim.engine import Simulator
+from repro.sim.resources import TokenBucket
+
+finite_positive = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples_strategy = st.lists(finite_positive, min_size=1, max_size=200)
+
+
+class TestPercentileProperties:
+    @given(samples_strategy, st.floats(min_value=0.0, max_value=100.0))
+    def test_percentile_within_sample_bounds(self, samples, pct):
+        value = percentile(samples, pct)
+        assert min(samples) <= value <= max(samples)
+
+    @given(samples_strategy)
+    def test_percentile_monotone_in_pct(self, samples):
+        values = [percentile(samples, p) for p in (0, 25, 50, 75, 90, 99, 100)]
+        assert values == sorted(values)
+
+    @given(samples_strategy, finite_positive)
+    def test_percentile_translation_invariance(self, samples, shift):
+        base = percentile(samples, 90.0)
+        shifted = percentile([s + shift for s in samples], 90.0)
+        assert math.isclose(shifted, base + shift, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(st.lists(finite_positive, min_size=2, max_size=100))
+    def test_cdf_is_monotone(self, samples):
+        values, probs = cdf(samples, points=20)
+        assert values == sorted(values)
+        assert probs == sorted(probs)
+
+
+class TestJainProperties:
+    @given(st.lists(finite_positive, min_size=1, max_size=50))
+    def test_jain_bounds(self, allocations):
+        index = jain_index(allocations)
+        assert 1.0 / len(allocations) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(st.lists(finite_positive, min_size=1, max_size=50), finite_positive)
+    def test_jain_scale_invariance(self, allocations, factor):
+        base = jain_index(allocations)
+        scaled = jain_index([a * factor for a in allocations])
+        assert math.isclose(base, scaled, rel_tol=1e-6)
+
+    @given(st.integers(min_value=1, max_value=40), finite_positive)
+    def test_equal_allocations_always_fair(self, n, value):
+        assert jain_index([value] * n) > 1.0 - 1e-9
+
+    @given(st.lists(finite_positive, min_size=1, max_size=30))
+    def test_weighted_jain_of_proportional_split_is_one(self, weights):
+        total = sum(weights)
+        allocations = [100.0 * w / total for w in weights]
+        assert weighted_jain_index(allocations, weights) > 1.0 - 1e-9
+
+    @given(st.lists(finite_positive, min_size=2, max_size=30))
+    def test_weighted_jain_never_exceeds_one(self, weights):
+        allocations = [1.0] * len(weights)
+        assert weighted_jain_index(allocations, weights) <= 1.0 + 1e-9
+
+
+class TestWaterFillProperties:
+    groups = st.dictionaries(
+        st.text(alphabet="abcdef", min_size=1, max_size=3),
+        st.tuples(finite_positive, st.one_of(finite_positive, st.just(math.inf))),
+        min_size=1,
+        max_size=8,
+    )
+
+    @given(groups, finite_positive)
+    def test_allocations_bounded_by_demand_and_capacity(self, groups, capacity):
+        weights = {k: w for k, (w, _) in groups.items()}
+        demands = {k: d for k, (_, d) in groups.items()}
+        alloc = _water_fill(weights, demands, capacity)
+        assert set(alloc) == set(weights)
+        for key in alloc:
+            assert alloc[key] <= demands[key] + 1e-6
+            assert alloc[key] >= -1e-9
+        assert sum(alloc.values()) <= capacity + 1e-6
+
+    @given(groups, finite_positive)
+    def test_capacity_fully_used_when_demand_allows(self, groups, capacity):
+        weights = {k: w for k, (w, _) in groups.items()}
+        demands = {k: d for k, (_, d) in groups.items()}
+        alloc = _water_fill(weights, demands, capacity)
+        total_demand = sum(min(d, capacity * 10) for d in demands.values())
+        if any(math.isinf(d) for d in demands.values()):
+            assert sum(alloc.values()) >= capacity - 1e-6
+        else:
+            assert sum(alloc.values()) >= min(capacity, total_demand) - 1e-6
+
+
+class TestTokenBucketProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=50),
+    )
+    def test_rate_never_exceeded_in_long_run(self, rate, burst, amounts):
+        bucket = TokenBucket(rate, burst)
+        now = 0.0
+        last_admit = 0.0
+        total = 0.0
+        for amount in amounts:
+            wait = bucket.reserve(amount, now)
+            last_admit = max(last_admit, now + wait)
+            total += amount
+        # Everything admitted by last_admit: total <= burst + rate * t.
+        assert total <= burst + rate * last_admit + 1e-6
+
+    @given(st.floats(min_value=0.01, max_value=100.0), finite_positive)
+    def test_reserve_wait_is_nonnegative(self, rate, amount):
+        bucket = TokenBucket(rate, burst=0.0)
+        assert bucket.reserve(amount, now=0.0) >= 0.0
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

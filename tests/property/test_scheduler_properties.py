@@ -1,0 +1,165 @@
+"""Property-based tests for scheduler invariants."""
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iocontrol.bfq import BfqScheduler
+from repro.iocontrol.mq_deadline import MqDeadlineScheduler
+from repro.iocontrol.nonectl import NoneScheduler
+from repro.iorequest import IoRequest, KIB, OpType, Pattern
+
+request_strategy = st.tuples(
+    st.sampled_from(["/a", "/b", "/c", "/d"]),  # cgroup
+    st.sampled_from([0, 1, 2, 3]),  # prio class
+    st.sampled_from([4 * KIB, 64 * KIB]),  # size
+)
+
+
+def build_requests(descriptions):
+    requests = []
+    for i, (cgroup, prio, size) in enumerate(descriptions):
+        req = IoRequest(f"app{i}", cgroup, OpType.READ, Pattern.RANDOM, size, prio_class=prio)
+        req.queued_time = float(i)
+        requests.append(req)
+    return requests
+
+
+def drain(scheduler, now=1e9):
+    """Pop until empty, completing each request immediately."""
+    popped = []
+    for _ in range(10_000):
+        req, _ = scheduler.pop(now)
+        if req is None:
+            break
+        popped.append(req)
+        scheduler.on_complete(req)
+    return popped
+
+
+class TestConservation:
+    """Nothing added to a scheduler is ever lost or duplicated."""
+
+    @given(st.lists(request_strategy, min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_none_scheduler_conserves(self, descriptions):
+        scheduler = NoneScheduler()
+        requests = build_requests(descriptions)
+        for req in requests:
+            scheduler.add(req)
+        popped = drain(scheduler)
+        assert len(popped) == len(requests)
+        assert {id(r) for r in popped} == {id(r) for r in requests}
+
+    @given(st.lists(request_strategy, min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_mq_deadline_conserves(self, descriptions):
+        scheduler = MqDeadlineScheduler(prio_aging_expire_us=100.0)
+        requests = build_requests(descriptions)
+        for req in requests:
+            scheduler.add(req)
+        popped = drain(scheduler)
+        assert len(popped) == len(requests)
+        assert scheduler.queued() == 0
+
+    @given(st.lists(request_strategy, min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_bfq_conserves(self, descriptions):
+        scheduler = BfqScheduler(
+            weight_of=lambda path: 100.0, slice_idle_us=0.0
+        )
+        requests = build_requests(descriptions)
+        for req in requests:
+            scheduler.add(req)
+        popped = drain(scheduler)
+        assert len(popped) == len(requests)
+        assert scheduler.queued() == 0
+
+
+class TestWorkConservingWithoutIdling:
+    @given(st.lists(request_strategy, min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_bfq_without_slice_idle_always_dispatches(self, descriptions):
+        """With idling off, a non-empty BFQ never refuses to dispatch."""
+        scheduler = BfqScheduler(weight_of=lambda path: 100.0, slice_idle_us=0.0)
+        for req in build_requests(descriptions):
+            scheduler.add(req)
+        while scheduler.queued():
+            req, retry_at = scheduler.pop(0.0)
+            assert req is not None
+            scheduler.on_complete(req)
+
+    @given(st.lists(request_strategy, min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_mq_deadline_single_class_always_dispatches(self, descriptions):
+        """Within one class there is no gating: FIFO must always serve."""
+        scheduler = MqDeadlineScheduler()
+        requests = build_requests(
+            [(cgroup, 2, size) for cgroup, _, size in descriptions]
+        )
+        for req in requests:
+            scheduler.add(req)
+        for _ in requests:
+            req, _ = scheduler.pop(0.0)
+            assert req is not None
+            scheduler.on_complete(req)
+
+
+class TestMqDeadlinePriorityInvariant:
+    @given(st.lists(request_strategy, min_size=2, max_size=60))
+    @settings(max_examples=60)
+    def test_realtime_always_served_before_blocked_lower_classes(self, descriptions):
+        """Before any aging, pops never serve class C while a strictly
+        higher class has queued requests."""
+        scheduler = MqDeadlineScheduler(prio_aging_expire_us=1e12)
+        requests = build_requests(descriptions)
+        for req in requests:
+            scheduler.add(req)
+        order = []
+        for _ in requests:
+            req, _ = scheduler.pop(0.0)
+            if req is None:
+                break  # lower classes blocked behind in-flight higher ones
+            order.append(req)
+            scheduler.on_complete(req)
+
+        def effective(req):
+            return 2 if req.prio_class == 0 else req.prio_class
+
+        classes = [effective(r) for r in order]
+        assert classes == sorted(classes)
+
+
+class TestBfqProportionality:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=30)
+    def test_long_run_service_ratio_tracks_weights(self, w_a, w_b):
+        weights = {"/a": float(w_a * 100), "/b": float(w_b * 100)}
+        scheduler = BfqScheduler(
+            weight_of=lambda path: weights[path],
+            slice_idle_us=0.0,
+            slice_budget_bytes=4 * KIB,
+        )
+        served = {"/a": 0, "/b": 0}
+        # Both groups stay saturated (arrivals exceed service), so the
+        # service split is the scheduler's choice, not forced by demand.
+        for round_ in range(400):
+            for _ in range(2):
+                scheduler.add(
+                    IoRequest(f"a{round_}", "/a", OpType.READ, Pattern.RANDOM, 4 * KIB)
+                )
+                scheduler.add(
+                    IoRequest(f"b{round_}", "/b", OpType.READ, Pattern.RANDOM, 4 * KIB)
+                )
+            for _ in range(2):
+                req, _ = scheduler.pop(0.0)
+                if req is not None:
+                    served[req.cgroup_path] += 1
+                    scheduler.on_complete(req)
+        total = served["/a"] + served["/b"]
+        expected_a = w_a / (w_a + w_b)
+        measured_a = served["/a"] / total
+        assert abs(measured_a - expected_a) < 0.15

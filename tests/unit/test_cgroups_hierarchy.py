@@ -1,0 +1,191 @@
+"""Unit tests for the cgroup v2 tree and its structural rules."""
+
+import pytest
+
+from repro.cgroups.errors import DelegationError, InvalidKnobValue
+from repro.cgroups.hierarchy import Cgroup, CgroupHierarchy
+from repro.cgroups.knobs import PrioClass
+
+
+@pytest.fixture
+def tree() -> CgroupHierarchy:
+    return CgroupHierarchy()
+
+
+class TestStructure:
+    def test_root_exists_and_has_controllers(self, tree):
+        assert tree.root.is_root
+        assert "io" in tree.root.subtree_control
+
+    def test_create_child(self, tree):
+        child = tree.root.create_child("tenants")
+        assert child.path == "/tenants"
+        assert child.parent is tree.root
+
+    def test_duplicate_child_rejected(self, tree):
+        tree.root.create_child("a")
+        with pytest.raises(DelegationError):
+            tree.root.create_child("a")
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".", ".."])
+    def test_invalid_names_rejected(self, tree, bad):
+        with pytest.raises(DelegationError):
+            tree.root.create_child(bad)
+
+    def test_nested_paths(self, tree):
+        leaf = tree.create("/tenants/a/b", processes=True)
+        assert leaf.path == "/tenants/a/b"
+        assert tree.find("/tenants/a/b") is leaf
+
+    def test_find_missing_raises(self, tree):
+        with pytest.raises(DelegationError):
+            tree.find("/nope")
+
+    def test_find_requires_absolute_path(self, tree):
+        with pytest.raises(DelegationError):
+            tree.find("relative")
+
+    def test_remove_empty_child(self, tree):
+        tree.root.create_child("a")
+        tree.root.remove_child("a")
+        assert "a" not in tree.root.children
+
+    def test_remove_nonempty_child_rejected(self, tree):
+        child = tree.root.create_child("a")
+        child.add_process("p")
+        with pytest.raises(DelegationError):
+            tree.root.remove_child("a")
+
+    def test_remove_missing_child_rejected(self, tree):
+        with pytest.raises(DelegationError):
+            tree.root.remove_child("ghost")
+
+    def test_walk_visits_all(self, tree):
+        tree.create("/a/b", processes=True)
+        tree.create("/a/c", processes=True)
+        paths = {g.path for g in tree.groups()}
+        assert paths == {"/", "/a", "/a/b", "/a/c"}
+
+    def test_ancestors(self, tree):
+        leaf = tree.create("/a/b/c")
+        assert [g.path for g in leaf.ancestors()] == ["/a/b", "/a", "/"]
+
+
+class TestNoInternalProcesses:
+    def test_management_group_rejects_processes(self, tree):
+        mgmt = tree.root.create_child("mgmt")
+        mgmt.enable_subtree_control("io")
+        with pytest.raises(DelegationError):
+            mgmt.add_process("p")
+
+    def test_process_group_rejects_subtree_control(self, tree):
+        proc = tree.root.create_child("proc")
+        proc.add_process("p")
+        with pytest.raises(DelegationError):
+            proc.enable_subtree_control("io")
+
+    def test_group_kind_properties(self, tree):
+        group = tree.root.create_child("x")
+        assert not group.is_management_group
+        assert not group.is_process_group
+        group.add_process("p")
+        assert group.is_process_group
+
+    def test_create_with_processes_on_management_path_rejected(self, tree):
+        tree.create("/a/b")  # makes /a a management group
+        with pytest.raises(DelegationError):
+            tree.create("/a", processes=True)
+
+
+class TestDelegation:
+    def test_subtree_control_requires_parent_delegation(self, tree):
+        a = tree.root.create_child("a")  # no +io on /a
+        b = a.create_child("b")
+        with pytest.raises(DelegationError):
+            b.enable_subtree_control("io")
+
+    def test_unknown_controller_rejected(self, tree):
+        with pytest.raises(DelegationError):
+            tree.root.create_child("a").enable_subtree_control("gpu")
+
+    def test_disable_in_use_controller_rejected(self, tree):
+        a = tree.root.create_child("a")
+        a.enable_subtree_control("io")
+        b = a.create_child("b")
+        b.enable_subtree_control("io")
+        with pytest.raises(DelegationError):
+            a.disable_subtree_control("io")
+
+    def test_disable_unused_controller(self, tree):
+        a = tree.root.create_child("a")
+        a.enable_subtree_control("io")
+        a.disable_subtree_control("io")
+        assert "io" not in a.subtree_control
+
+    def test_knob_write_requires_parent_io(self, tree):
+        a = tree.root.create_child("a")  # /a writable: parent is root
+        a.write("io.max", "259:0 rbps=1000")
+        b = a.create_child("b")  # /a does not delegate io
+        with pytest.raises(DelegationError):
+            b.write("io.max", "259:0 rbps=1000")
+
+    def test_io_cost_is_root_only(self, tree):
+        child = tree.root.create_child("a")
+        with pytest.raises(DelegationError):
+            child.write("io.cost.qos", "259:0 enable=1")
+        tree.root.write("io.cost.qos", "259:0 enable=1")  # root OK
+
+    def test_io_prio_class_writable_in_any_group(self, tree):
+        leaf = tree.create("/a/b", processes=True)
+        leaf.write("io.prio.class", "idle")
+        assert leaf.prio_class() == PrioClass.IDLE
+
+
+class TestKnobState:
+    def test_unknown_knob_file(self, tree):
+        with pytest.raises(InvalidKnobValue):
+            tree.root.write("io.bogus", "1")
+        with pytest.raises(InvalidKnobValue):
+            tree.root.read_parsed("io.bogus")
+
+    def test_defaults_when_unset(self, tree):
+        group = tree.root.create_child("a")
+        assert group.io_weight() == 100
+        assert group.bfq_weight() == 100
+        assert group.prio_class() == PrioClass.NONE
+
+    def test_per_device_knob_merges_across_writes(self, tree):
+        group = tree.root.create_child("a")
+        group.write("io.max", "259:0 rbps=1000")
+        group.write("io.max", "259:1 rbps=2000")
+        table = group.read_parsed("io.max")
+        assert set(table) == {"259:0", "259:1"}
+
+    def test_per_device_knob_overwrites_same_device(self, tree):
+        group = tree.root.create_child("a")
+        group.write("io.max", "259:0 rbps=1000")
+        group.write("io.max", "259:0 rbps=5000")
+        assert group.read_parsed("io.max", "259:0").rbps == 5000
+
+    def test_scalar_knob_roundtrip(self, tree):
+        group = tree.root.create_child("a")
+        group.write("io.weight", "default 500")
+        assert group.io_weight() == 500
+
+    def test_prio_class_not_inherited(self, tree):
+        parent = tree.root.create_child("p")
+        parent.write("io.prio.class", "realtime")
+        parent.enable_subtree_control("io")
+        child = parent.create_child("c")
+        assert child.prio_class() == PrioClass.NONE
+
+    def test_leaf_for_process(self, tree):
+        leaf = tree.create("/a/b", processes=True)
+        leaf.add_process("fio-1")
+        assert tree.leaf_for_process("fio-1") is leaf
+        assert tree.leaf_for_process("ghost") is None
+
+    def test_create_is_idempotent_for_existing_paths(self, tree):
+        first = tree.create("/a/b", processes=True)
+        second = tree.create("/a/b", processes=True)
+        assert first is second

@@ -1,0 +1,201 @@
+"""Unit tests for knob-file parsing and validation."""
+
+import math
+
+import pytest
+
+from repro.cgroups.errors import InvalidKnobValue
+from repro.cgroups.knobs import (
+    IoCostModelParams,
+    IoCostQosParams,
+    PrioClass,
+    parse_bfq_weight,
+    parse_device_id,
+    parse_io_cost_model_line,
+    parse_io_cost_qos_line,
+    parse_io_latency_line,
+    parse_io_max_line,
+    parse_io_weight,
+    parse_prio_class,
+)
+
+
+class TestDeviceId:
+    def test_valid(self):
+        assert parse_device_id("259:0") == "259:0"
+
+    def test_normalizes_leading_zeros(self):
+        assert parse_device_id("08:016") == "8:16"
+
+    @pytest.mark.parametrize("bad", ["nvme0n1", "259", "259:", ":0", "a:b", "259:0:1"])
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_device_id(bad)
+
+
+class TestIoWeight:
+    def test_bare_value(self):
+        assert parse_io_weight("250") == 250
+
+    def test_default_prefix(self):
+        assert parse_io_weight("default 250") == 250
+
+    @pytest.mark.parametrize("value,expected", [("1", 1), ("10000", 10000)])
+    def test_range_limits_accepted(self, value, expected):
+        assert parse_io_weight(value) == expected
+
+    @pytest.mark.parametrize("bad", ["0", "10001", "-5", "abc", "", "default", "1 2 3"])
+    def test_out_of_range_or_malformed(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_io_weight(bad)
+
+
+class TestBfqWeight:
+    def test_valid(self):
+        assert parse_bfq_weight("1000") == 1000
+
+    @pytest.mark.parametrize("bad", ["0", "1001", "x"])
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_bfq_weight(bad)
+
+
+class TestPrioClass:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("realtime", PrioClass.REALTIME),
+            ("rt", PrioClass.REALTIME),
+            ("promote-to-rt", PrioClass.REALTIME),
+            ("best-effort", PrioClass.BEST_EFFORT),
+            ("restrict-to-be", PrioClass.BEST_EFFORT),
+            ("idle", PrioClass.IDLE),
+            ("no-change", PrioClass.NONE),
+            ("IDLE", PrioClass.IDLE),  # case-insensitive
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert parse_prio_class(alias) == expected
+
+    def test_unknown_class(self):
+        with pytest.raises(InvalidKnobValue):
+            parse_prio_class("super-urgent")
+
+
+class TestIoMax:
+    def test_full_line(self):
+        device, limits = parse_io_max_line(
+            "259:0 rbps=1048576 wbps=max riops=1000 wiops=max"
+        )
+        assert device == "259:0"
+        assert limits.rbps == 1048576
+        assert math.isinf(limits.wbps)
+        assert limits.riops == 1000
+        assert math.isinf(limits.wiops)
+
+    def test_partial_line_defaults_to_max(self):
+        _, limits = parse_io_max_line("259:0 rbps=500")
+        assert math.isinf(limits.riops)
+        assert not limits.is_unlimited()
+
+    def test_all_max_is_unlimited(self):
+        _, limits = parse_io_max_line("259:0 rbps=max")
+        assert limits.is_unlimited()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "259:0 rbps=abc",
+            "259:0 rbps=0",
+            "259:0 rbps=-1",
+            "259:0 bogus=1",
+            "259:0 rbps",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_io_max_line(bad)
+
+
+class TestIoLatency:
+    def test_valid(self):
+        device, target = parse_io_latency_line("259:0 target=100")
+        assert device == "259:0"
+        assert target == 100.0
+
+    @pytest.mark.parametrize(
+        "bad", ["", "259:0", "259:0 target=x", "259:0 target=0", "259:0 max=5"]
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_io_latency_line(bad)
+
+
+class TestIoCostQos:
+    def test_full_line(self):
+        device, qos = parse_io_cost_qos_line(
+            "259:0 enable=1 ctrl=user rpct=95 rlat=100 wpct=90 wlat=200 min=50 max=150"
+        )
+        assert device == "259:0"
+        assert qos.enable
+        assert qos.ctrl == "user"
+        assert qos.rpct == 95.0
+        assert qos.rlat_us == 100.0
+        assert qos.wpct == 90.0
+        assert qos.wlat_us == 200.0
+        assert qos.vrate_min_pct == 50.0
+        assert qos.vrate_max_pct == 150.0
+
+    def test_enable_zero(self):
+        _, qos = parse_io_cost_qos_line("259:0 enable=0")
+        assert not qos.enable
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "259:0 rpct=150",
+            "259:0 min=80 max=50",
+            "259:0 ctrl=magic",
+            "259:0 bogus=1",
+            "259:0 rlat=abc",
+            "259:0 min=0",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_io_cost_qos_line(bad)
+
+    def test_dataclass_validate_directly(self):
+        with pytest.raises(InvalidKnobValue):
+            IoCostQosParams(vrate_min_pct=90.0, vrate_max_pct=10.0).validate()
+
+
+class TestIoCostModel:
+    def test_full_line(self):
+        device, model = parse_io_cost_model_line(
+            "259:0 ctrl=user model=linear rbps=3000000000 rseqiops=700000 "
+            "rrandiops=600000 wbps=1000000000 wseqiops=300000 wrandiops=250000"
+        )
+        assert device == "259:0"
+        assert model.rbps == 3e9
+        assert model.wrandiops == 250000
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "259:0 model=quadratic",
+            "259:0 ctrl=divine",
+            "259:0 rbps=abc",
+            "259:0 bogus=1",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(InvalidKnobValue):
+            parse_io_cost_model_line(bad)
+
+    def test_negative_param_rejected(self):
+        with pytest.raises(InvalidKnobValue):
+            IoCostModelParams(rbps=-1.0).validate()

@@ -1,0 +1,144 @@
+"""Unit tests for scenario/knob configuration."""
+
+import math
+
+import pytest
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.cgroups.knobs import IoCostQosParams, PrioClass
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    MqDeadlineKnob,
+    NoneKnob,
+    Scenario,
+    device_id_for_index,
+)
+from repro.iorequest import MIB
+from repro.ssd.presets import samsung_980pro_like
+from repro.workloads.apps import batch_app
+
+
+def make_tree(paths):
+    tree = CgroupHierarchy()
+    for path in paths:
+        tree.create(path, processes=True)
+    return tree
+
+
+class TestDeviceIds:
+    def test_index_mapping(self):
+        assert device_id_for_index(0) == "259:0"
+        assert device_id_for_index(6) == "259:6"
+
+
+class TestScenarioValidation:
+    def base_kwargs(self, **overrides):
+        kwargs = dict(
+            name="s",
+            knob=NoneKnob(),
+            apps=[batch_app("a", "/t/a")],
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_valid_scenario(self):
+        scenario = Scenario(**self.base_kwargs())
+        assert scenario.duration_us == 1e6
+        assert scenario.device_ids() == ["259:0"]
+
+    def test_needs_apps(self):
+        with pytest.raises(ValueError):
+            Scenario(**self.base_kwargs(apps=[]))
+
+    def test_duplicate_app_names_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(
+                **self.base_kwargs(
+                    apps=[batch_app("a", "/t/a"), batch_app("a", "/t/b")]
+                )
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_devices", 0),
+            ("cores", 0),
+            ("duration_s", 0.0),
+            ("warmup_s", 2.0),  # beyond duration
+            ("warmup_s", -0.1),
+        ],
+    )
+    def test_numeric_validation(self, field, value):
+        with pytest.raises(ValueError):
+            Scenario(**self.base_kwargs(**{field: value}))
+
+    def test_multi_device_ids(self):
+        scenario = Scenario(**self.base_kwargs(num_devices=3))
+        assert scenario.device_ids() == ["259:0", "259:1", "259:2"]
+
+
+class TestKnobConfigure:
+    def test_none_writes_nothing(self):
+        tree = make_tree(["/t/a"])
+        NoneKnob().configure(tree, ["259:0"])
+        assert tree.find("/t/a").read_parsed("io.max") == {}
+
+    def test_mq_deadline_sets_classes(self):
+        tree = make_tree(["/t/a"])
+        MqDeadlineKnob(classes={"/t/a": "idle"}).configure(tree, ["259:0"])
+        assert tree.find("/t/a").prio_class() == PrioClass.IDLE
+
+    def test_bfq_sets_weights(self):
+        tree = make_tree(["/t/a"])
+        BfqKnob(weights={"/t/a": 555}).configure(tree, ["259:0"])
+        assert tree.find("/t/a").bfq_weight() == 555
+
+    def test_iomax_writes_per_device(self):
+        tree = make_tree(["/t/a"])
+        IoMaxKnob(limits={"/t/a": {"rbps": 10 * MIB}}).configure(
+            tree, ["259:0", "259:1"]
+        )
+        for device in ("259:0", "259:1"):
+            limits = tree.find("/t/a").read_parsed("io.max", device)
+            assert limits.rbps == 10 * MIB
+
+    def test_iomax_renders_inf_as_max(self):
+        tree = make_tree(["/t/a"])
+        IoMaxKnob(limits={"/t/a": {"rbps": math.inf}}).configure(tree, ["259:0"])
+        assert math.isinf(tree.find("/t/a").read_parsed("io.max", "259:0").rbps)
+
+    def test_iolatency_writes_targets(self):
+        tree = make_tree(["/t/a"])
+        IoLatencyKnob(targets_us={"/t/a": 123.0}).configure(tree, ["259:0"])
+        assert tree.find("/t/a").read_parsed("io.latency", "259:0") == 123.0
+
+    def test_iocost_writes_root_qos_and_weights(self):
+        tree = make_tree(["/t/a"])
+        knob = IoCostKnob(
+            weights={"/t/a": 777},
+            qos=IoCostQosParams(enable=True, ctrl="user", rlat_us=100.0),
+        )
+        knob.configure(tree, ["259:0"])
+        qos = tree.root.read_parsed("io.cost.qos", "259:0")
+        assert qos.enable and qos.rlat_us == 100.0
+        assert tree.find("/t/a").io_weight() == 777
+
+    def test_iocost_resolves_model_from_device(self):
+        knob = IoCostKnob()
+        model = knob.resolve_model(samsung_980pro_like())
+        assert model.rbps > 0
+        assert model.wrandiops < model.rrandiops  # writes cost more
+
+    def test_iocost_explicit_model_wins(self):
+        from repro.cgroups.knobs import IoCostModelParams
+
+        explicit = IoCostModelParams(ctrl="user", rbps=1.0, rrandiops=1.0)
+        knob = IoCostKnob(model=explicit)
+        assert knob.resolve_model(samsung_980pro_like()) is explicit
+
+    def test_labels(self):
+        assert NoneKnob().describe() == "none"
+        assert "bfq" in BfqKnob().describe()

@@ -1,0 +1,100 @@
+"""Unit tests for D-module helpers (sweep math, study containers)."""
+
+import math
+
+import pytest
+
+from repro.core.d1_overhead import (
+    BandwidthScalingPoint,
+    LcOverheadPoint,
+    LcOverheadStudy,
+    peak_bandwidth,
+)
+from repro.core.d3_tradeoffs import _latency_target_range, _log_spaced, _spaced
+from repro.core.d4_bursts import BurstResponse
+from repro.ssd.presets import samsung_980pro_like
+
+
+class TestLcStudyContainer:
+    @staticmethod
+    def point(knob, n_apps, p99=100.0, util=0.5):
+        return LcOverheadPoint(
+            knob=knob,
+            n_apps=n_apps,
+            p99_us=p99,
+            p50_us=p99 * 0.8,
+            mean_us=p99 * 0.8,
+            cpu_utilization=util,
+            ctx_switches_per_io=1.0,
+            cycles_per_io=20_000.0,
+            total_iops=10_000.0,
+        )
+
+    def test_lookup(self):
+        study = LcOverheadStudy(points=[self.point("none", 1), self.point("bfq", 1, 120.0)])
+        assert study.p99("bfq", 1) == 120.0
+        assert study.utilization("none", 1) == 0.5
+
+    def test_missing_point_raises(self):
+        study = LcOverheadStudy()
+        with pytest.raises(KeyError):
+            study.p99("none", 1)
+        with pytest.raises(KeyError):
+            study.utilization("none", 1)
+
+
+class TestPeakBandwidth:
+    def test_max_over_app_counts(self):
+        points = [
+            BandwidthScalingPoint("none", 1, 1, 1.0, 0.1),
+            BandwidthScalingPoint("none", 8, 1, 2.5, 0.3),
+            BandwidthScalingPoint("none", 17, 1, 2.4, 0.4),
+        ]
+        assert peak_bandwidth(points, "none", 1) == 2.5
+
+    def test_missing_combination_raises(self):
+        with pytest.raises(KeyError):
+            peak_bandwidth([], "none", 1)
+
+
+class TestSweepSpacing:
+    def test_spaced_endpoints(self):
+        values = _spaced(0.0, 10.0, 5)
+        assert values[0] == 0.0
+        assert values[-1] == 10.0
+        assert len(values) == 5
+
+    def test_spaced_single_point(self):
+        assert _spaced(0.0, 10.0, 1) == [10.0]
+
+    def test_log_spaced_is_geometric(self):
+        values = _log_spaced(1.0, 100.0, 3)
+        assert values == pytest.approx([1.0, 10.0, 100.0])
+
+    def test_log_spaced_validates(self):
+        with pytest.raises(ValueError):
+            _log_spaced(0.0, 10.0, 3)
+        with pytest.raises(ValueError):
+            _log_spaced(10.0, 1.0, 3)
+
+
+class TestLatencyTargetRange:
+    def test_uses_baseline_when_available(self):
+        ssd = samsung_980pro_like()
+        lo, hi = _latency_target_range("lc", ssd, baseline_p99_us=1000.0)
+        # Floor sits just below the isolated latency (persistent-violation
+        # regime at the tight end of the sweep).
+        assert lo == pytest.approx(ssd.read_fixed_us * 0.9)
+        assert hi == pytest.approx(1200.0)
+
+    def test_falls_back_to_paper_range(self):
+        ssd = samsung_980pro_like()
+        lo, hi = _latency_target_range("lc", ssd, baseline_p99_us=None)
+        assert lo < hi
+        assert hi == 1200.0
+
+
+class TestBurstResponse:
+    def test_reached_property(self):
+        assert BurstResponse("io.cost", "batch", 50.0, 100.0, 50.0).reached
+        assert not BurstResponse("io.latency", "batch", None, math.inf, 50.0).reached

@@ -1,0 +1,187 @@
+"""Unit tests for Table I scoring rules."""
+
+from repro.core.desiderata import (
+    DesiderataInputs,
+    PAPER_TABLE_ONE,
+    Score,
+    TableOne,
+    score_all,
+    score_bursts,
+    score_fairness,
+    score_low_overhead,
+    score_tradeoffs,
+)
+
+
+def inputs(**overrides) -> DesiderataInputs:
+    return DesiderataInputs(knob="test", **overrides)
+
+
+class TestLowOverhead:
+    def test_clean_knob_scores_yes(self):
+        assert score_low_overhead(inputs()) == Score.YES
+
+    def test_bandwidth_loss_scores_no(self):
+        assert (
+            score_low_overhead(inputs(peak_bandwidth_ratio_vs_none=0.6)) == Score.NO
+        )
+
+    def test_latency_overhead_scores_no(self):
+        assert score_low_overhead(inputs(p99_overhead_1app=0.2)) == Score.NO
+
+    def test_only_saturated_latency_is_partial(self):
+        # The io.cost case: fine until CPU saturation.
+        assert (
+            score_low_overhead(inputs(p99_overhead_saturated=0.48)) == Score.PARTIAL
+        )
+
+
+class TestFairness:
+    def test_fair_dynamic_knob_scores_yes(self):
+        assert score_fairness(inputs()) == Score.YES
+
+    def test_fair_but_static_scores_partial(self):
+        assert score_fairness(inputs(static_configuration=True)) == Score.PARTIAL
+
+    def test_unfair_weighted_scores_no(self):
+        assert score_fairness(inputs(fairness_weighted_2=0.5)) == Score.NO
+
+    def test_unfair_past_saturation_scores_no(self):
+        assert score_fairness(inputs(fairness_uniform_16=0.8)) == Score.NO
+
+    def test_unfair_mixed_sizes_scores_no(self):
+        assert score_fairness(inputs(fairness_mixed_sizes=0.5)) == Score.NO
+
+
+class TestTradeoffs:
+    def test_fine_grained_all_variants_yes(self):
+        assert (
+            score_tradeoffs(
+                inputs(
+                    front_clusters_rand4k=6,
+                    front_utilization_span_fraction=0.6,
+                    hard_variants_effective=True,
+                )
+            )
+            == Score.YES
+        )
+
+    def test_coarse_front_scores_no(self):
+        assert (
+            score_tradeoffs(
+                inputs(front_clusters_rand4k=3, front_utilization_span_fraction=0.6)
+            )
+            == Score.NO
+        )
+
+    def test_narrow_span_scores_no(self):
+        assert (
+            score_tradeoffs(
+                inputs(front_clusters_rand4k=6, front_utilization_span_fraction=0.05)
+            )
+            == Score.NO
+        )
+
+    def test_easy_only_scores_partial(self):
+        assert (
+            score_tradeoffs(
+                inputs(
+                    front_clusters_rand4k=6,
+                    front_utilization_span_fraction=0.6,
+                    hard_variants_effective=False,
+                )
+            )
+            == Score.PARTIAL
+        )
+
+    def test_static_knob_capped_at_partial(self):
+        assert (
+            score_tradeoffs(
+                inputs(
+                    front_clusters_rand4k=6,
+                    front_utilization_span_fraction=0.6,
+                    hard_variants_effective=True,
+                    static_configuration=True,
+                )
+            )
+            == Score.PARTIAL
+        )
+
+
+class TestBursts:
+    def test_fast_response_yes(self):
+        assert score_bursts(inputs(burst_response_ms=50.0), Score.YES) == Score.YES
+
+    def test_slow_response_no(self):
+        assert score_bursts(inputs(burst_response_ms=5000.0), Score.YES) == Score.NO
+
+    def test_never_reached_no(self):
+        assert score_bursts(inputs(burst_response_ms=None), Score.YES) == Score.NO
+
+    def test_middling_response_partial(self):
+        assert (
+            score_bursts(inputs(burst_response_ms=900.0), Score.YES)
+            == Score.PARTIAL
+        )
+
+    def test_no_prioritization_no(self):
+        assert (
+            score_bursts(
+                inputs(burst_response_ms=10.0, has_prioritization=False), Score.YES
+            )
+            == Score.NO
+        )
+
+    def test_no_tradeoff_capability_no(self):
+        # MQ-DL reacts fast but its 3 coarse options cannot serve a
+        # priority burst (the paper's all-x row).
+        assert score_bursts(inputs(burst_response_ms=10.0), Score.NO) == Score.NO
+
+    def test_partial_tradeoffs_still_eligible(self):
+        assert (
+            score_bursts(inputs(burst_response_ms=10.0), Score.PARTIAL) == Score.YES
+        )
+
+    def test_static_fast_knob_partial(self):
+        assert (
+            score_bursts(
+                inputs(burst_response_ms=10.0, static_configuration=True), Score.YES
+            )
+            == Score.PARTIAL
+        )
+
+
+class TestTableRendering:
+    def test_render_contains_all_rows(self):
+        table = TableOne(rows=[score_all(inputs())])
+        text = table.render()
+        assert "test" in text
+        assert "LowOverhead" in text
+
+    def test_paper_reference_covers_all_knobs(self):
+        assert set(PAPER_TABLE_ONE) == {
+            "mq-deadline",
+            "bfq",
+            "io.max",
+            "io.latency",
+            "io.cost",
+        }
+
+    def test_matches_paper_counts_cells(self):
+        row = score_all(
+            DesiderataInputs(
+                knob="io.cost",
+                p99_overhead_saturated=0.48,
+                front_clusters_rand4k=6,
+                front_utilization_span_fraction=0.6,
+                hard_variants_effective=True,
+                burst_response_ms=50.0,
+            )
+        )
+        table = TableOne(rows=[row])
+        assert table.matches_paper() == {"io.cost": 4}
+
+    def test_symbols(self):
+        assert Score.YES.symbol == "v"
+        assert Score.PARTIAL.symbol == "-"
+        assert Score.NO.symbol == "x"

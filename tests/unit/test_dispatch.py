@@ -1,0 +1,123 @@
+"""Unit tests for the dispatch engine."""
+
+import random
+
+import pytest
+
+from repro.cpu.cores import CoreSet
+from repro.iocontrol.dispatch import DispatchEngine
+from repro.iocontrol.nonectl import NoneScheduler
+from repro.iorequest import GIB, IoRequest, KIB, OpType, Pattern
+from repro.sim.engine import Simulator
+from repro.ssd.device import SimulatedNvmeDevice
+from repro.ssd.model import SsdModel
+
+
+def quiet_model(**overrides):
+    params = dict(
+        name="quiet",
+        parallelism=4,
+        read_fixed_us=50.0,
+        write_fixed_us=100.0,
+        seq_read_fixed_us=40.0,
+        seq_write_fixed_us=80.0,
+        read_bus_bps=1 * GIB,
+        write_bus_bps=0.5 * GIB,
+        noise_base=1.0,
+        noise_tail_mean=0.0,
+    )
+    params.update(overrides)
+    return SsdModel(**params)
+
+
+def make_engine(lock_us=1.0, parallelism=4):
+    sim = Simulator()
+    device = SimulatedNvmeDevice(sim, quiet_model(parallelism=parallelism), random.Random(0))
+    cores = CoreSet(sim, 2)
+    scheduler = NoneScheduler()
+    scheduler.lock_overhead_us = lock_us
+    completed = []
+    engine = DispatchEngine(
+        sim, scheduler, device, cores, on_complete=lambda r: completed.append(sim.now)
+    )
+    return sim, engine, completed
+
+
+def make_request():
+    return IoRequest("a", "/g", OpType.READ, Pattern.RANDOM, 4 * KIB)
+
+
+class TestDispatch:
+    def test_request_flows_to_completion(self):
+        sim, engine, completed = make_engine()
+        engine.submit(make_request())
+        sim.run()
+        assert len(completed) == 1
+        assert engine.dispatched == 1
+
+    def test_queued_time_stamped_at_submit(self):
+        sim, engine, _ = make_engine()
+        sim.schedule(25.0, lambda: engine.submit(make_request()))
+        req_holder = []
+        sim.run()
+        # queued_time is set inside submit; verify through a fresh request.
+        req = make_request()
+        engine.submit(req)
+        assert req.queued_time == sim.now
+
+    def test_lock_serializes_dispatch(self):
+        sim, engine, completed = make_engine(lock_us=10.0)
+        for _ in range(4):
+            engine.submit(make_request())
+        sim.run()
+        # Dispatches spaced 10us apart (lock), each then taking
+        # 50us flash + ~3.8us bus.
+        bus_us = 4096 / GIB * 1e6
+        expected = [10.0 * (i + 1) + 50.0 + bus_us for i in range(4)]
+        assert completed == pytest.approx(expected)
+
+    def test_dispatch_rate_capped_by_lock(self):
+        sim, engine, completed = make_engine(lock_us=5.0, parallelism=64)
+        n = 200
+        for _ in range(n):
+            engine.submit(make_request())
+        sim.run()
+        # Last dispatch at ~n*5us; completion ~50us later.
+        assert max(completed) == pytest.approx(n * 5.0 + 50.0 + 4096 / GIB * 1e6, rel=0.05)
+
+    def test_spin_accounted_under_contention(self):
+        sim, engine, _ = make_engine(lock_us=5.0)
+        snap = engine.core_set.snapshot()
+        for _ in range(20):
+            engine.submit(make_request())
+        sim.run()
+        assert engine.core_set.busy_time_us(snap) > 0.0
+
+    def test_retry_timer_fires_for_waiting_scheduler(self):
+        sim, engine, completed = make_engine()
+
+        class WaitScheduler(NoneScheduler):
+            """Refuses to dispatch before t=100."""
+
+            def pop(self, now):
+                if now < 100.0:
+                    return None, 100.0
+                return super().pop(now)
+
+        engine.scheduler = WaitScheduler()
+        engine.scheduler.add(make_request())
+        engine.pump()
+        sim.run()
+        assert completed and completed[0] > 100.0
+
+    def test_duplicate_retry_timers_not_armed(self):
+        sim, engine, _ = make_engine()
+
+        class WaitScheduler(NoneScheduler):
+            def pop(self, now):
+                return None, 500.0
+
+        engine.scheduler = WaitScheduler()
+        for _ in range(10):
+            engine.pump()
+        assert sim.pending_events() == 1

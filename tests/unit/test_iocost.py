@@ -1,0 +1,266 @@
+"""Unit tests for the io.cost controller (blk-iocost)."""
+
+import math
+
+import pytest
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.cgroups.knobs import IoCostModelParams, IoCostQosParams
+from repro.iocontrol.iocost import (
+    IoCostController,
+    _water_fill,
+    abs_cost_us,
+    cost_coefficients,
+)
+from repro.iorequest import GIB, IoRequest, KIB, OpType, Pattern
+from repro.sim.engine import Simulator
+
+DEV = "259:0"
+PERIOD = IoCostController.PERIOD_US
+
+
+def simple_model() -> IoCostModelParams:
+    return IoCostModelParams(
+        ctrl="user",
+        model="linear",
+        rbps=1 * GIB,
+        rseqiops=200_000,
+        rrandiops=100_000,
+        wbps=0.5 * GIB,
+        wseqiops=100_000,
+        wrandiops=50_000,
+    )
+
+
+def make_controller(weights=None, qos=None, sim=None):
+    sim = sim or Simulator()
+    tree = CgroupHierarchy()
+    for path, weight in (weights or {"/t/a": 100}).items():
+        tree.create(path, processes=True)
+        tree.find(path).write("io.weight", str(weight))
+    controller = IoCostController(
+        sim,
+        tree,
+        DEV,
+        model=simple_model(),
+        qos=qos or IoCostQosParams(enable=True, ctrl="user"),
+    )
+    controller.start()
+    return sim, tree, controller
+
+
+def make_request(cgroup="/t/a", op=OpType.READ, pattern=Pattern.RANDOM, size=4 * KIB):
+    return IoRequest("app", cgroup, op, pattern, size)
+
+
+class TestCostModel:
+    def test_coefficients_shapes(self):
+        coefs = cost_coefficients(simple_model())
+        read = coefs[OpType.READ]
+        # Page cost: 4 KiB at 1 GiB/s = ~3.8 us.
+        assert read.page_us == pytest.approx(4096 / GIB * 1e6)
+        # Random per-IO: 1e6/100k - page = 10 - 3.8 = 6.2 us.
+        assert read.rand_us == pytest.approx(10.0 - read.page_us)
+        assert read.seq_us < read.rand_us
+
+    def test_writes_cost_more_than_reads(self):
+        coefs = cost_coefficients(simple_model())
+        write = abs_cost_us(coefs, make_request(op=OpType.WRITE))
+        read = abs_cost_us(coefs, make_request(op=OpType.READ))
+        assert write > read
+
+    def test_cost_scales_with_size(self):
+        coefs = cost_coefficients(simple_model())
+        small = abs_cost_us(coefs, make_request(size=4 * KIB))
+        large = abs_cost_us(coefs, make_request(size=256 * KIB))
+        assert large > small * 10
+
+    def test_sequential_cheaper_than_random(self):
+        coefs = cost_coefficients(simple_model())
+        seq = abs_cost_us(coefs, make_request(pattern=Pattern.SEQUENTIAL))
+        rand = abs_cost_us(coefs, make_request(pattern=Pattern.RANDOM))
+        assert seq < rand
+
+    def test_zero_params_yield_zero_coefficients(self):
+        coefs = cost_coefficients(IoCostModelParams())
+        assert coefs[OpType.READ].page_us == 0.0
+        assert coefs[OpType.READ].rand_us == 0.0
+
+
+class TestWaterFill:
+    def test_unconstrained_split_by_weight(self):
+        alloc = _water_fill(
+            {"a": 3.0, "b": 1.0},
+            {"a": math.inf, "b": math.inf},
+            100.0,
+        )
+        assert alloc["a"] == pytest.approx(75.0)
+        assert alloc["b"] == pytest.approx(25.0)
+
+    def test_satisfied_group_donates_surplus(self):
+        alloc = _water_fill(
+            {"a": 3.0, "b": 1.0},
+            {"a": 10.0, "b": math.inf},
+            100.0,
+        )
+        assert alloc["a"] == pytest.approx(10.0)
+        assert alloc["b"] == pytest.approx(90.0)
+
+    def test_allocations_never_exceed_demand(self):
+        alloc = _water_fill(
+            {"a": 1.0, "b": 1.0},
+            {"a": 5.0, "b": 7.0},
+            100.0,
+        )
+        assert alloc["a"] == pytest.approx(5.0)
+        assert alloc["b"] == pytest.approx(7.0)
+
+    def test_total_never_exceeds_capacity(self):
+        alloc = _water_fill(
+            {"a": 2.0, "b": 1.0, "c": 1.0},
+            {"a": math.inf, "b": math.inf, "c": 1.0},
+            100.0,
+        )
+        assert sum(alloc.values()) == pytest.approx(100.0)
+
+
+class TestBudgeting:
+    def test_within_budget_admits_immediately(self):
+        sim, _, controller = make_controller()
+        admitted = []
+        controller.submit(make_request(), lambda r: admitted.append(sim.now))
+        assert admitted == [0.0]
+
+    def test_abs_cost_stamped_on_request(self):
+        sim, _, controller = make_controller()
+        req = make_request()
+        controller.submit(req, lambda r: None)
+        assert req.abs_cost > 0.0
+
+    def test_over_budget_requests_are_delayed(self):
+        sim, _, controller = make_controller()
+        admitted = []
+        # Random 4 KiB cost ~10us; margin is one 50ms period -> ~5000
+        # requests fit the initial budget window.
+        for _ in range(8000):
+            controller.submit(make_request(), lambda r: admitted.append(sim.now))
+        sim.run_until(PERIOD * 4)
+        assert max(admitted) > 0.0
+
+    def test_throughput_tracks_model_rate(self):
+        sim, _, controller = make_controller()
+        admitted = []
+        for _ in range(30_000):
+            controller.submit(make_request(), lambda r: admitted.append(sim.now))
+        sim.run_until(PERIOD * 4)
+        in_first_window = sum(1 for t in admitted if t < PERIOD * 4)
+        # Model allows 100k IOPS; 4 periods = 200ms -> ~20k + margin.
+        assert in_first_window == pytest.approx(25_000, rel=0.3)
+
+    def test_group_activation_on_submit(self):
+        sim, _, controller = make_controller({"/t/a": 100, "/t/b": 100})
+        controller.submit(make_request("/t/a"), lambda r: None)
+        assert controller.hweight_of("/t/a") == pytest.approx(1.0)
+        controller.submit(make_request("/t/b"), lambda r: None)
+        assert controller.hweight_of("/t/a") == pytest.approx(0.5)
+
+    def test_idle_group_deactivates(self):
+        sim, _, controller = make_controller({"/t/a": 100, "/t/b": 100})
+        req = make_request("/t/a")
+        controller.submit(req, lambda r: None)
+        controller.submit(make_request("/t/b"), lambda r: None)
+        # Complete /t/a's request and let it idle past the timeout.
+        controller.on_complete(req)
+        sim.run_until(PERIOD * 3)
+        assert controller.hweight_of("/t/a") == 0.0
+        assert controller.hweight_of("/t/b") == pytest.approx(1.0)
+
+    def test_weights_shape_hweights(self):
+        sim, _, controller = make_controller({"/t/a": 300, "/t/b": 100})
+        controller.submit(make_request("/t/a"), lambda r: None)
+        controller.submit(make_request("/t/b"), lambda r: None)
+        assert controller.hweight_of("/t/a") == pytest.approx(0.75)
+
+
+class TestQosVrate:
+    def _violating_qos(self, vrate_min=20.0):
+        return IoCostQosParams(
+            enable=True, ctrl="user", rpct=95.0, rlat_us=50.0,
+            vrate_min_pct=vrate_min, vrate_max_pct=100.0,
+        )
+
+    def _feed_latency(self, sim, controller, latency_us, count=20):
+        for _ in range(count):
+            req = make_request()
+            controller.submit(req, lambda r: None)
+            req.queued_time = sim.now - latency_us
+            controller.on_complete(req)
+
+    def test_violation_reduces_vrate(self):
+        sim, _, controller = make_controller(qos=self._violating_qos())
+        self._feed_latency(sim, controller, latency_us=500.0)
+        sim.run_until(PERIOD)
+        assert controller.vrate < 1.0
+
+    def test_vrate_floor_at_min(self):
+        sim, _, controller = make_controller(qos=self._violating_qos(vrate_min=50.0))
+        for window in range(30):
+            self._feed_latency(sim, controller, latency_us=500.0)
+            sim.run_until((window + 1) * PERIOD)
+        assert controller.vrate == pytest.approx(0.5)
+
+    def test_vrate_recovers_when_healthy(self):
+        sim, _, controller = make_controller(qos=self._violating_qos())
+        self._feed_latency(sim, controller, latency_us=500.0)
+        sim.run_until(PERIOD)
+        dropped = controller.vrate
+        for window in range(1, 12):
+            self._feed_latency(sim, controller, latency_us=10.0)
+            sim.run_until((window + 1) * PERIOD)
+        assert controller.vrate > dropped
+
+    def test_vrate_capped_at_max(self):
+        sim, _, controller = make_controller(qos=self._violating_qos())
+        for window in range(10):
+            self._feed_latency(sim, controller, latency_us=10.0)
+            sim.run_until((window + 1) * PERIOD)
+        assert controller.vrate <= 1.0
+
+    def test_qos_disabled_never_adjusts(self):
+        sim, _, controller = make_controller(
+            qos=IoCostQosParams(enable=False, ctrl="user", rlat_us=50.0)
+        )
+        self._feed_latency(sim, controller, latency_us=5_000.0)
+        sim.run_until(PERIOD)
+        assert controller.vrate == 1.0
+
+    def test_few_samples_do_not_trigger(self):
+        sim, _, controller = make_controller(qos=self._violating_qos())
+        self._feed_latency(sim, controller, latency_us=500.0, count=3)
+        sim.run_until(PERIOD)
+        assert controller.vrate == 1.0
+
+
+class TestDonation:
+    def test_high_weight_low_demand_donates(self):
+        sim, _, controller = make_controller({"/t/prio": 10000, "/t/be": 100})
+        # prio sends a trickle; be floods.
+        prio_req = make_request("/t/prio")
+        controller.submit(prio_req, lambda r: None)
+        controller.on_complete(prio_req)
+        admitted_be = []
+        for _ in range(30_000):
+            controller.submit(
+                make_request("/t/be"), lambda r: admitted_be.append(sim.now)
+            )
+        sim.run_until(PERIOD * 6)
+        # Without donation be would get ~1% of 100k IOPS; with donation it
+        # should receive nearly the full model rate.
+        in_window = sum(1 for t in admitted_be if PERIOD <= t < PERIOD * 6)
+        rate_iops = in_window / (5 * PERIOD / 1e6)
+        assert rate_iops > 50_000
+
+    def test_effective_share_reported(self):
+        sim, _, controller = make_controller({"/t/a": 100})
+        controller.submit(make_request("/t/a"), lambda r: None)
+        assert controller.effective_share_of("/t/a") == pytest.approx(1.0)

@@ -1,0 +1,162 @@
+"""Unit tests for the io.latency controller (blk-iolatency)."""
+
+import pytest
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.iocontrol.iolatency import IoLatencyController
+from repro.iorequest import IoRequest, KIB, OpType, Pattern
+from repro.sim.engine import Simulator
+
+DEV = "259:0"
+WINDOW = IoLatencyController.WINDOW_US
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    tree = CgroupHierarchy()
+    tree.create("/t/prio", processes=True)
+    tree.create("/t/be", processes=True)
+    tree.find("/t/prio").write("io.latency", f"{DEV} target=100")
+    controller = IoLatencyController(sim, tree, DEV, max_qd=64)
+    controller.start()
+    return sim, tree, controller
+
+
+def make_request(cgroup):
+    return IoRequest("app", cgroup, OpType.READ, Pattern.RANDOM, 4 * KIB)
+
+
+def feed_window(sim, controller, cgroup, latency_us, count=20):
+    """Simulate ``count`` completions with a given block-layer latency.
+
+    Pipelined: submissions that exceed the group's QD limit wait in the
+    controller and are driven by the completions of earlier requests,
+    as in the real data path.
+    """
+    admitted = []
+    for _ in range(count):
+        controller.submit(make_request(cgroup), lambda r: admitted.append(r))
+    completed = 0
+    while admitted:
+        req = admitted.pop()
+        req.queued_time = sim.now - latency_us
+        controller.on_complete(req)
+        completed += 1
+    assert completed == count
+
+
+class TestAdmission:
+    def test_admits_up_to_qd_limit(self, env):
+        sim, _, controller = env
+        admitted = []
+        for _ in range(70):
+            controller.submit(make_request("/t/be"), lambda r: admitted.append(r))
+        assert len(admitted) == 64  # max_qd
+
+    def test_completion_drains_pending(self, env):
+        sim, _, controller = env
+        admitted = []
+        reqs = [make_request("/t/be") for _ in range(65)]
+        for req in reqs:
+            controller.submit(req, lambda r: admitted.append(r))
+        assert len(admitted) == 64
+        reqs[0].queued_time = sim.now
+        controller.on_complete(reqs[0])
+        assert len(admitted) == 65
+
+
+class TestThrottling:
+    def test_violation_halves_lower_priority_qd(self, env):
+        sim, _, controller = env
+        feed_window(sim, controller, "/t/prio", latency_us=500.0)  # violated
+        feed_window(sim, controller, "/t/be", latency_us=500.0)
+        sim.run_until(WINDOW)
+        assert controller.qd_limit_of("/t/be") == 32
+        # The protected group itself is never throttled.
+        assert controller.qd_limit_of("/t/prio") == 64
+
+    def test_qd_halves_once_per_window(self, env):
+        sim, _, controller = env
+        for window in range(3):
+            feed_window(sim, controller, "/t/prio", latency_us=500.0)
+            feed_window(sim, controller, "/t/be", latency_us=500.0)
+            sim.run_until((window + 1) * WINDOW)
+        assert controller.qd_limit_of("/t/be") == 8  # 64 -> 32 -> 16 -> 8
+
+    def test_qd_floor_is_one(self, env):
+        sim, _, controller = env
+        for window in range(10):
+            feed_window(sim, controller, "/t/prio", latency_us=500.0)
+            feed_window(sim, controller, "/t/be", latency_us=500.0)
+            sim.run_until((window + 1) * WINDOW)
+        assert controller.qd_limit_of("/t/be") == 1
+
+    def test_no_violation_means_no_throttling(self, env):
+        sim, _, controller = env
+        feed_window(sim, controller, "/t/prio", latency_us=50.0)  # under target
+        sim.run_until(WINDOW)
+        assert controller.qd_limit_of("/t/be") == 64
+
+    def test_few_samples_do_not_trigger(self, env):
+        sim, _, controller = env
+        feed_window(sim, controller, "/t/prio", latency_us=500.0, count=2)
+        sim.run_until(WINDOW)
+        assert controller.qd_limit_of("/t/be") == 64
+
+    def test_unthrottle_adds_quarter_of_max(self, env):
+        sim, _, controller = env
+        feed_window(sim, controller, "/t/prio", latency_us=500.0)
+        feed_window(sim, controller, "/t/be", latency_us=500.0)
+        sim.run_until(WINDOW)  # be: 32
+        feed_window(sim, controller, "/t/prio", latency_us=50.0)
+        sim.run_until(2 * WINDOW)
+        assert controller.qd_limit_of("/t/be") == min(64, 32 + 64 // 4)
+
+
+class TestUseDelay:
+    def _throttle_to_one(self, sim, controller, windows=8):
+        for window in range(windows):
+            feed_window(sim, controller, "/t/prio", latency_us=500.0)
+            feed_window(sim, controller, "/t/be", latency_us=500.0)
+            sim.run_until((window + 1) * WINDOW)
+
+    def test_use_delay_accumulates_at_qd_one(self, env):
+        sim, _, controller = env
+        self._throttle_to_one(sim, controller, windows=9)
+        assert controller.qd_limit_of("/t/be") == 1
+        assert controller.use_delay_of("/t/be") >= 2
+
+    def test_use_delay_blocks_recovery(self, env):
+        sim, _, controller = env
+        self._throttle_to_one(sim, controller, windows=8)
+        delay = controller.use_delay_of("/t/be")
+        assert delay >= 1
+        # One healthy window decrements use_delay but must not raise QD.
+        feed_window(sim, controller, "/t/prio", latency_us=50.0)
+        sim.run_until(9 * WINDOW)
+        assert controller.use_delay_of("/t/be") == delay - 1
+        assert controller.qd_limit_of("/t/be") == 1
+
+    def test_recovery_after_use_delay_drains(self, env):
+        sim, _, controller = env
+        self._throttle_to_one(sim, controller, windows=8)
+        windows_needed = controller.use_delay_of("/t/be") + 1
+        for extra in range(windows_needed):
+            feed_window(sim, controller, "/t/prio", latency_us=50.0)
+            sim.run_until((9 + extra) * WINDOW)
+        assert controller.qd_limit_of("/t/be") > 1
+
+
+class TestDefaults:
+    def test_unseen_group_reports_max_qd(self, env):
+        _, _, controller = env
+        assert controller.qd_limit_of("/t/ghost") == 64
+        assert controller.use_delay_of("/t/ghost") == 0
+
+    def test_unprotected_group_latency_never_triggers(self, env):
+        sim, _, controller = env
+        # Only the BE group (no target) sees terrible latency.
+        feed_window(sim, controller, "/t/be", latency_us=10_000.0)
+        sim.run_until(WINDOW)
+        assert controller.qd_limit_of("/t/be") == 64

@@ -1,0 +1,112 @@
+"""Unit tests for the experiment knob catalog."""
+
+import pytest
+
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    MqDeadlineKnob,
+    NoneKnob,
+)
+from repro.core.knob_catalog import (
+    ALL_KNOB_NAMES,
+    fairness_knobs,
+    iomax_limit_for_share,
+    overhead_knobs,
+)
+from repro.core.scenarios import FairnessGroupSpec, linear_weight_fairness_groups
+from repro.ssd.presets import samsung_980pro_like
+
+
+@pytest.fixture
+def ssd():
+    return samsung_980pro_like()
+
+
+class TestOverheadKnobs:
+    def test_all_knobs_present(self, ssd):
+        knobs = overhead_knobs(ssd, ["/t/a"])
+        assert set(knobs) == set(ALL_KNOB_NAMES)
+
+    def test_bfq_slice_idle_disabled(self, ssd):
+        knobs = overhead_knobs(ssd, ["/t/a"])
+        assert knobs["bfq"].slice_idle_us == 0.0
+
+    def test_iomax_limits_beyond_saturation(self, ssd):
+        knobs = overhead_knobs(ssd, ["/t/a"])
+        limit = knobs["io.max"].limits["/t/a"]["rbps"]
+        assert limit > 5 * 2.94 * 1024**3
+
+    def test_iolatency_targets_are_seconds(self, ssd):
+        knobs = overhead_knobs(ssd, ["/t/a"])
+        assert knobs["io.latency"].targets_us["/t/a"] >= 1_000_000
+
+    def test_iocost_model_is_optimistic(self, ssd):
+        knobs = overhead_knobs(ssd, ["/t/a"])
+        model = knobs["io.cost"].resolve_model(ssd)
+        from repro.iorequest import KIB, OpType, Pattern
+
+        device_iops = ssd.saturation_iops(OpType.READ, Pattern.RANDOM, 4 * KIB)
+        assert model.rrandiops > device_iops
+
+
+class TestFairnessKnobs:
+    def test_weighted_catalog_types(self, ssd):
+        groups = linear_weight_fairness_groups(4)
+        knobs = fairness_knobs(groups, ssd, weighted=True)
+        assert isinstance(knobs["none"], NoneKnob)
+        assert isinstance(knobs["mq-deadline"], MqDeadlineKnob)
+        assert isinstance(knobs["bfq"], BfqKnob)
+        assert isinstance(knobs["io.max"], IoMaxKnob)
+        assert isinstance(knobs["io.latency"], IoLatencyKnob)
+        assert isinstance(knobs["io.cost"], IoCostKnob)
+
+    def test_bfq_weights_clamped_to_range(self, ssd):
+        groups = [FairnessGroupSpec("/t/big", weight=5000)]
+        knobs = fairness_knobs(groups, ssd, weighted=True)
+        assert knobs["bfq"].weights["/t/big"] == 1000
+
+    def test_iomax_limits_proportional_to_weight(self, ssd):
+        groups = linear_weight_fairness_groups(2)  # weights 100, 200
+        knobs = fairness_knobs(groups, ssd, weighted=True)
+        limits = knobs["io.max"].limits
+        ratio = limits["/tenants/g1"]["rbps"] / limits["/tenants/g0"]["rbps"]
+        assert ratio == pytest.approx(2.0)
+
+    def test_latency_targets_invert_weights(self, ssd):
+        groups = linear_weight_fairness_groups(2)
+        knobs = fairness_knobs(groups, ssd, weighted=True)
+        targets = knobs["io.latency"].targets_us
+        assert targets["/tenants/g0"] > targets["/tenants/g1"]
+
+    def test_classes_quantized_to_three_levels(self, ssd):
+        groups = linear_weight_fairness_groups(9)
+        knobs = fairness_knobs(groups, ssd, weighted=True)
+        classes = set(knobs["mq-deadline"].classes.values())
+        assert classes == {"idle", "best-effort", "realtime"}
+
+    def test_unweighted_has_no_classes(self, ssd):
+        groups = linear_weight_fairness_groups(4)
+        knobs = fairness_knobs(groups, ssd, weighted=False)
+        assert knobs["mq-deadline"].classes == {}
+
+    def test_iocost_uses_fig5a_recipe(self, ssd):
+        groups = linear_weight_fairness_groups(2)
+        knobs = fairness_knobs(groups, ssd, weighted=True)
+        qos = knobs["io.cost"].qos
+        assert qos.rlat_us == 100.0
+        assert qos.vrate_min_pct == 50.0
+
+
+class TestIomaxShare:
+    def test_valid_share(self, ssd):
+        full = iomax_limit_for_share(1.0, ssd)
+        half = iomax_limit_for_share(0.5, ssd)
+        assert half == pytest.approx(full / 2)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_invalid_share(self, ssd, bad):
+        with pytest.raises(ValueError):
+            iomax_limit_for_share(bad, ssd)

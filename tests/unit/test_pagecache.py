@@ -1,0 +1,160 @@
+"""Unit tests for the write-back page cache (§VII extension substrate)."""
+
+import random
+
+import pytest
+
+from repro.fs.pagecache import FLUSHER_CGROUP, FLUSHER_NAME, PageCache, PageCacheConfig
+from repro.iorequest import IoRequest, KIB, OpType, Pattern
+from repro.sim.engine import Simulator
+
+
+def make_cache(sim=None, **config_overrides):
+    sim = sim or Simulator()
+    submitted = []
+    config = PageCacheConfig(
+        dirty_background_bytes=64 * KIB,
+        dirty_hard_bytes=256 * KIB,
+        writeback_chunk_bytes=64 * KIB,
+        writeback_depth=2,
+        **config_overrides,
+    )
+    cache = PageCache(
+        sim, random.Random(0), config, submit_direct=submitted.append
+    )
+    return sim, cache, submitted
+
+
+def write_req(cgroup="/t/w", size=16 * KIB):
+    return IoRequest("w", cgroup, OpType.WRITE, Pattern.RANDOM, size)
+
+
+def read_req(cgroup="/t/r", size=4 * KIB):
+    return IoRequest("r", cgroup, OpType.READ, Pattern.RANDOM, size)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"copy_latency_us": -1.0},
+            {"dirty_background_bytes": 100, "dirty_hard_bytes": 50},
+            {"writeback_chunk_bytes": 0},
+            {"writeback_depth": 0},
+            {"read_hit_ratio": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PageCacheConfig(**kwargs)
+
+
+class TestBufferedWrites:
+    def test_write_completes_at_copy_latency(self):
+        sim, cache, _ = make_cache()
+        done = []
+        cache.submit_buffered(write_req(), lambda r: done.append(sim.now))
+        sim.run_until(10.0)
+        assert done == [cache.config.copy_latency_us]
+
+    def test_dirty_accounting(self):
+        sim, cache, _ = make_cache()
+        cache.submit_buffered(write_req(size=16 * KIB), lambda r: None)
+        assert cache.total_dirty == 16 * KIB
+        assert cache.dirty_by_cgroup["/t/w"] == 16 * KIB
+
+    def test_no_writeback_below_background_threshold(self):
+        sim, cache, submitted = make_cache()
+        cache.submit_buffered(write_req(size=16 * KIB), lambda r: None)
+        sim.run()
+        assert submitted == []
+
+    def test_writeback_starts_above_background_threshold(self):
+        sim, cache, submitted = make_cache()
+        for _ in range(5):  # 80 KiB dirty > 64 KiB background
+            cache.submit_buffered(write_req(size=16 * KIB), lambda r: None)
+        assert submitted, "writeback should have started"
+        wb = submitted[0]
+        assert wb.op == OpType.WRITE
+        assert wb.app_name == FLUSHER_NAME
+
+    def test_writeback_attributed_to_dirtying_cgroup(self):
+        sim, cache, submitted = make_cache(attributed=True)
+        for _ in range(6):
+            cache.submit_buffered(write_req(cgroup="/t/w"), lambda r: None)
+        assert submitted[0].cgroup_path == "/t/w"
+
+    def test_unattributed_writeback_runs_in_root(self):
+        sim, cache, submitted = make_cache(attributed=False)
+        for _ in range(6):
+            cache.submit_buffered(write_req(cgroup="/t/w"), lambda r: None)
+        assert submitted[0].cgroup_path == FLUSHER_CGROUP
+
+    def test_writeback_depth_bounded(self):
+        sim, cache, submitted = make_cache()
+        for _ in range(32):
+            cache.submit_buffered(write_req(size=16 * KIB), lambda r: None)
+        assert len(submitted) <= cache.config.writeback_depth
+
+    def test_writeback_completion_triggers_more(self):
+        sim, cache, submitted = make_cache()
+        for _ in range(32):
+            cache.submit_buffered(write_req(size=16 * KIB), lambda r: None)
+        before = len(submitted)
+        cache.on_writeback_complete(submitted[0])
+        assert len(submitted) > before
+
+    def test_biggest_dirtier_flushed_first(self):
+        sim, cache, submitted = make_cache()
+        cache.submit_buffered(write_req(cgroup="/t/small", size=16 * KIB), lambda r: None)
+        for _ in range(4):
+            cache.submit_buffered(write_req(cgroup="/t/big", size=16 * KIB), lambda r: None)
+        assert submitted[0].cgroup_path == "/t/big"
+
+
+class TestDirtyHardLimit:
+    def test_writer_blocks_above_hard_limit(self):
+        sim, cache, submitted = make_cache()
+        done = []
+        for _ in range(16):  # 16 x 16 KiB = 256 KiB = hard limit
+            cache.submit_buffered(write_req(size=16 * KIB), lambda r: done.append(1))
+        cache.submit_buffered(write_req(size=16 * KIB), lambda r: done.append(1))
+        sim.run_until(100.0)
+        assert cache.blocked_writers == 1
+        assert cache.stats_writer_stalls == 1
+
+    def test_blocked_writer_wakes_after_writeback(self):
+        sim, cache, submitted = make_cache()
+        for _ in range(17):
+            cache.submit_buffered(write_req(size=16 * KIB), lambda r: None)
+        assert cache.blocked_writers == 1
+        # Complete enough writeback chunks to free dirty budget.
+        while cache.blocked_writers and submitted:
+            cache.on_writeback_complete(submitted.pop(0))
+        sim.run_until(1000.0)
+        assert cache.blocked_writers == 0
+
+
+class TestBufferedReads:
+    def test_miss_goes_to_device(self):
+        sim, cache, submitted = make_cache(read_hit_ratio=0.0)
+        cache.submit_buffered(read_req(), lambda r: None)
+        assert len(submitted) == 1
+        assert submitted[0].op == OpType.READ
+        assert cache.stats_read_misses == 1
+
+    def test_hit_completes_from_cache(self):
+        sim, cache, submitted = make_cache(read_hit_ratio=1.0)
+        done = []
+        cache.submit_buffered(read_req(), lambda r: done.append(sim.now))
+        sim.run_until(10.0)
+        assert submitted == []
+        assert done == [cache.config.copy_latency_us]
+        assert cache.stats_read_hits == 1
+
+    def test_hit_ratio_is_probabilistic(self):
+        sim, cache, submitted = make_cache(read_hit_ratio=0.5)
+        for _ in range(200):
+            cache.submit_buffered(read_req(), lambda r: None)
+        assert 40 < cache.stats_read_hits < 160
+        assert cache.stats_read_hits + cache.stats_read_misses == 200

@@ -1,0 +1,69 @@
+"""Unit tests for Pareto-front computation."""
+
+import pytest
+
+from repro.core.pareto import TradeoffPoint, distinct_clusters, front_span, pareto_front
+
+
+def point(x, y, maximize=True, label=""):
+    return TradeoffPoint(
+        knob="k",
+        config_label=label or f"{x},{y}",
+        be_variant="rand-4k",
+        aggregate_gib_s=x,
+        priority_metric=y,
+        metric_maximize=maximize,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_point_removed_maximize(self):
+        good = point(2.0, 10.0)
+        bad = point(1.0, 5.0)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_dominated_point_removed_minimize(self):
+        good = point(2.0, 100.0, maximize=False)
+        bad = point(1.0, 200.0, maximize=False)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_tradeoff_points_both_kept(self):
+        a = point(1.0, 10.0)
+        b = point(2.0, 5.0)
+        front = pareto_front([a, b])
+        assert set(front) == {a, b}
+
+    def test_front_sorted_by_x(self):
+        points = [point(3.0, 1.0), point(1.0, 9.0), point(2.0, 5.0)]
+        front = pareto_front(points)
+        xs = [p.aggregate_gib_s for p in front]
+        assert xs == sorted(xs)
+
+    def test_duplicate_points_kept(self):
+        a = point(1.0, 1.0)
+        b = point(1.0, 1.0)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestSpanAndClusters:
+    def test_span(self):
+        front = [point(1.0, 10.0), point(3.0, 2.0)]
+        assert front_span(front) == (2.0, 8.0)
+
+    def test_span_empty(self):
+        assert front_span([]) == (0.0, 0.0)
+
+    def test_clusters_merge_close_points(self):
+        front = [point(1.0, 10.0), point(1.01, 10.1), point(3.0, 2.0)]
+        assert distinct_clusters(front, x_resolution=0.1, y_resolution=0.5) == 2
+
+    def test_clusters_resolution_validated(self):
+        with pytest.raises(ValueError):
+            distinct_clusters([], x_resolution=0.0, y_resolution=1.0)
+
+    def test_all_distinct(self):
+        front = [point(float(i), float(i)) for i in range(5)]
+        assert distinct_clusters(front, x_resolution=0.1, y_resolution=0.1) == 5

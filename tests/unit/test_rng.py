@@ -1,0 +1,37 @@
+"""Unit tests for deterministic named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream_sequence():
+    a = RngStreams(7).stream("device")
+    b = RngStreams(7).stream("device")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random()
+    b = RngStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_identity_is_cached():
+    streams = RngStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    streams1 = RngStreams(7)
+    s = streams1.stream("keep")
+    first = s.random()
+
+    streams2 = RngStreams(7)
+    streams2.stream("other")  # create an unrelated stream first
+    assert streams2.stream("keep").random() == first

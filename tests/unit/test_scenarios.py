@@ -1,0 +1,143 @@
+"""Unit tests for the experiment scenario builders."""
+
+import math
+
+import pytest
+
+from repro.core.scenarios import (
+    BE_VARIANTS,
+    FairnessGroupSpec,
+    batch_scaling_specs,
+    burst_specs,
+    fairness_specs,
+    fig2_timeline_specs,
+    lc_scaling_specs,
+    linear_weight_fairness_groups,
+    scaled_priority_qd,
+    tradeoff_specs,
+    uniform_fairness_groups,
+)
+from repro.iorequest import GIB, KIB, Pattern
+
+
+class TestFig2Timeline:
+    def test_three_apps_with_paper_windows(self):
+        specs = fig2_timeline_specs()
+        assert [s.name for s in specs] == ["A", "B", "C"]
+        windows = {s.name: s.windows[0] for s in specs}
+        assert windows["A"].start_us == 0.0
+        assert windows["A"].stop_us == 50e6
+        assert windows["B"].start_us == 10e6
+        assert windows["B"].stop_us == 70e6
+        assert windows["C"].start_us == 20e6
+        assert windows["C"].stop_us == 50e6
+
+    def test_paper_workload_shape(self):
+        spec = fig2_timeline_specs()[0]
+        assert spec.size == 64 * KIB
+        assert spec.queue_depth == 8
+        assert spec.rate_limit_bps == pytest.approx(1.5 * GIB)
+
+    def test_time_scale_compresses_windows(self):
+        specs = fig2_timeline_specs(time_scale=0.1)
+        assert specs[0].windows[0].stop_us == pytest.approx(5e6)
+
+    def test_rate_scale_divides_caps(self):
+        specs = fig2_timeline_specs(rate_scale=8.0)
+        assert specs[0].rate_limit_bps == pytest.approx(1.5 * GIB / 8)
+
+
+class TestScalingSpecs:
+    def test_lc_scaling(self):
+        specs = lc_scaling_specs(4)
+        assert len(specs) == 4
+        assert all(s.queue_depth == 1 for s in specs)
+        assert len({s.cgroup_path for s in specs}) == 4
+
+    def test_lc_scaling_validates(self):
+        with pytest.raises(ValueError):
+            lc_scaling_specs(0)
+
+    def test_batch_scaling(self):
+        specs = batch_scaling_specs(3, queue_depth=64)
+        assert len(specs) == 3
+        assert all(s.queue_depth == 64 for s in specs)
+
+    def test_batch_scaling_validates(self):
+        with pytest.raises(ValueError):
+            batch_scaling_specs(0)
+
+
+class TestFairnessSpecs:
+    def test_apps_per_group(self):
+        groups = uniform_fairness_groups(3)
+        specs = fairness_specs(groups, apps_per_group=4)
+        assert len(specs) == 12
+        per_group = {g.path: 0 for g in groups}
+        for spec in specs:
+            per_group[spec.cgroup_path] += 1
+        assert all(count == 4 for count in per_group.values())
+
+    def test_group_workload_propagates(self):
+        groups = [
+            FairnessGroupSpec(
+                path="/t/w",
+                weight=100,
+                size=256 * KIB,
+                pattern=Pattern.SEQUENTIAL,
+                read_fraction=0.0,
+            )
+        ]
+        spec = fairness_specs(groups, apps_per_group=1)[0]
+        assert spec.size == 256 * KIB
+        assert spec.pattern == Pattern.SEQUENTIAL
+        assert spec.read_fraction == 0.0
+
+    def test_uniform_groups_have_equal_weights(self):
+        groups = uniform_fairness_groups(5)
+        assert {g.weight for g in groups} == {100}
+
+    def test_linear_weights_increase(self):
+        groups = linear_weight_fairness_groups(4)
+        assert [g.weight for g in groups] == [100, 200, 300, 400]
+
+    def test_app_names_unique(self):
+        specs = fairness_specs(uniform_fairness_groups(4), apps_per_group=4)
+        names = [s.name for s in specs]
+        assert len(set(names)) == len(names)
+
+
+class TestTradeoffSpecs:
+    def test_priority_plus_four_be(self):
+        specs = tradeoff_specs("lc")
+        assert specs[0].name == "prio"
+        assert specs[0].queue_depth == 1
+        assert len(specs) == 5
+
+    def test_batch_priority_qd(self):
+        specs = tradeoff_specs("batch", priority_queue_depth=16)
+        assert specs[0].queue_depth == 16
+
+    def test_unknown_priority_kind(self):
+        with pytest.raises(ValueError):
+            tradeoff_specs("background")
+
+    @pytest.mark.parametrize("variant", sorted(BE_VARIANTS))
+    def test_be_variants(self, variant):
+        specs = tradeoff_specs("lc", be_variant=variant)
+        be = specs[1]
+        expected = BE_VARIANTS[variant]
+        assert be.size == expected.size
+        assert be.pattern == expected.pattern
+        assert be.read_fraction == expected.read_fraction
+
+    def test_burst_priority_starts_late(self):
+        specs = burst_specs("batch", burst_start_us=2e6)
+        assert specs[0].windows[0].start_us == 2e6
+        assert math.isinf(specs[0].windows[0].stop_us)
+        # BE apps run from the start.
+        assert specs[1].windows[0].start_us == 0.0
+
+    def test_scaled_priority_qd_is_scale_invariant(self):
+        # Pure time dilation preserves in-flight regimes: no adjustment.
+        assert scaled_priority_qd(1.0) == scaled_priority_qd(16.0) == 32

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(30.0, lambda: seen.append("c"))
+        sim.schedule(10.0, lambda: seen.append("a"))
+        sim.schedule(20.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_fifo_order(self):
+        sim = Simulator()
+        seen = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5.0, lambda t=tag: seen.append(t))
+        sim.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(42.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42.0]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(5.0, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule(10.0, outer)
+        sim.run()
+        assert seen == [("outer", 10.0), ("inner", 15.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(10.0, lambda: seen.append("x"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("x"))
+        sim.run()
+        event.cancel()
+        assert seen == ["x"]
+
+    def test_cancelled_events_not_counted_pending(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_future_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append("early"))
+        sim.schedule(100.0, lambda: seen.append("late"))
+        sim.run_until(50.0)
+        assert seen == ["early"]
+        assert sim.now == 50.0
+
+    def test_run_until_includes_boundary_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(50.0, lambda: seen.append("edge"))
+        sim.run_until(50.0)
+        assert seen == ["edge"]
+
+    def test_run_until_advances_clock_with_empty_heap(self):
+        sim = Simulator()
+        sim.run_until(123.0)
+        assert sim.now == 123.0
+
+    def test_run_until_can_be_resumed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append("a"))
+        sim.schedule(60.0, lambda: seen.append("b"))
+        sim.run_until(30.0)
+        assert seen == ["a"]
+        sim.run_until(100.0)
+        assert seen == ["a", "b"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def tick(n):
+                trace.append((n, sim.now))
+                if n < 20:
+                    sim.schedule(float(n % 3) + 0.5, lambda: tick(n + 1))
+
+            sim.schedule(0.0, lambda: tick(0))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,152 @@
+"""Unit tests for the SSD performance model."""
+
+import pytest
+
+from repro.iorequest import GIB, KIB, OpType, Pattern
+from repro.ssd.model import GcParams, SsdModel, describe_model
+from repro.ssd.presets import get_preset, intel_optane_like, samsung_980pro_like
+
+
+def make_model(**overrides) -> SsdModel:
+    params = dict(
+        name="test",
+        parallelism=10,
+        read_fixed_us=50.0,
+        write_fixed_us=100.0,
+        seq_read_fixed_us=40.0,
+        seq_write_fixed_us=80.0,
+        read_bus_bps=1 * GIB,
+        write_bus_bps=0.5 * GIB,
+    )
+    params.update(overrides)
+    return SsdModel(**params)
+
+
+class TestValidation:
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_model(parallelism=0)
+
+    @pytest.mark.parametrize(
+        "attr",
+        ["read_fixed_us", "write_fixed_us", "seq_read_fixed_us", "seq_write_fixed_us"],
+    )
+    def test_fixed_costs_must_be_positive(self, attr):
+        with pytest.raises(ValueError):
+            make_model(**{attr: 0.0})
+
+    def test_bus_bandwidth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_model(read_bus_bps=0)
+
+    def test_nvme_qd_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_model(nvme_max_qd=0)
+
+    def test_gc_waf_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            GcParams(write_amplification=0.5)
+
+    def test_gc_watermarks_ordered(self):
+        with pytest.raises(ValueError):
+            GcParams(high_watermark_bytes=1, low_watermark_bytes=2)
+
+
+class TestCosts:
+    def test_fixed_cost_by_op_and_pattern(self):
+        model = make_model()
+        assert model.fixed_cost_us(OpType.READ, Pattern.RANDOM) == 50.0
+        assert model.fixed_cost_us(OpType.READ, Pattern.SEQUENTIAL) == 40.0
+        assert model.fixed_cost_us(OpType.WRITE, Pattern.RANDOM) == 100.0
+        assert model.fixed_cost_us(OpType.WRITE, Pattern.SEQUENTIAL) == 80.0
+
+    def test_bus_cost_scales_with_size(self):
+        model = make_model()
+        small = model.bus_cost_us(OpType.READ, 4 * KIB)
+        large = model.bus_cost_us(OpType.READ, 64 * KIB)
+        assert large == pytest.approx(small * 16)
+
+    def test_bus_cost_direction_asymmetry(self):
+        model = make_model()
+        assert model.bus_cost_us(OpType.WRITE, KIB) > model.bus_cost_us(OpType.READ, KIB)
+
+
+class TestSaturation:
+    def test_small_requests_are_iops_bound(self):
+        model = make_model()
+        iops = model.saturation_iops(OpType.READ, Pattern.RANDOM, 4 * KIB)
+        # Flash bound: 10 units / 50us = 200k IOPS (bus bound higher).
+        assert iops == pytest.approx(200_000.0)
+
+    def test_large_requests_are_bus_bound(self):
+        model = make_model()
+        bw = model.saturation_bandwidth_bps(OpType.READ, Pattern.RANDOM, 1024 * KIB)
+        assert bw == pytest.approx(1 * GIB, rel=0.01)
+
+    def test_bandwidth_is_iops_times_size(self):
+        model = make_model()
+        size = 4 * KIB
+        assert model.saturation_bandwidth_bps(
+            OpType.READ, Pattern.RANDOM, size
+        ) == pytest.approx(model.saturation_iops(OpType.READ, Pattern.RANDOM, size) * size)
+
+
+class TestScaling:
+    def test_scale_one_returns_same_object(self):
+        model = make_model()
+        assert model.scaled(1.0) is model
+
+    def test_scale_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().scaled(0.5)
+
+    def test_scaling_divides_saturation(self):
+        model = make_model(parallelism=20)
+        scaled = model.scaled(4.0)
+        from repro.iorequest import OpType, Pattern
+
+        assert scaled.saturation_iops(
+            OpType.READ, Pattern.RANDOM, 4 * KIB
+        ) == pytest.approx(
+            model.saturation_iops(OpType.READ, Pattern.RANDOM, 4 * KIB) / 4
+        )
+        assert scaled.read_bus_bps == pytest.approx(model.read_bus_bps / 4)
+
+    def test_scaling_is_pure_time_dilation(self):
+        model = make_model()
+        scaled = model.scaled(8.0)
+        # Parallelism (and thus every in-flight regime) is preserved;
+        # each unit just runs slower.
+        assert scaled.parallelism == model.parallelism
+        assert scaled.read_fixed_us == pytest.approx(model.read_fixed_us * 8)
+        assert scaled.nvme_max_qd == model.nvme_max_qd
+
+    def test_scaled_name_is_annotated(self):
+        assert "1/4" in make_model().scaled(4.0).name
+
+
+class TestPresets:
+    def test_flash_preset_saturation_close_to_paper(self):
+        ssd = samsung_980pro_like()
+        bw = ssd.saturation_bandwidth_bps(OpType.READ, Pattern.RANDOM, 4 * KIB)
+        # Paper's "none" peak: 2.94 GiB/s on one SSD.
+        assert 2.5 * GIB < bw < 3.3 * GIB
+
+    def test_optane_is_low_latency_and_symmetric(self):
+        optane = intel_optane_like()
+        flash = samsung_980pro_like()
+        assert optane.read_fixed_us < flash.read_fixed_us / 3
+        ratio = optane.write_fixed_us / optane.read_fixed_us
+        assert ratio < 1.5  # near-symmetric
+
+    def test_optane_has_no_gc(self):
+        assert not intel_optane_like().gc_enabled
+
+    def test_get_preset_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_preset("floppy")
+
+    def test_describe_model_mentions_cases(self):
+        text = describe_model(samsung_980pro_like())
+        assert "4 KiB rand read" in text
+        assert "GiB/s" in text

@@ -1,0 +1,153 @@
+"""Unit tests for the work-conservation probe and dynamic io.max manager."""
+
+import pytest
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.iocontrol.dynamic_iomax import DynamicIoMaxManager
+from repro.iocontrol.iomax import IoMaxController
+from repro.metrics.workconservation import WorkConservationProbe
+from repro.sim.engine import Simulator
+
+DEV = "259:0"
+
+
+class TestProbe:
+    def test_period_validated(self):
+        with pytest.raises(ValueError):
+            WorkConservationProbe(Simulator(), lambda: True, lambda: 0, period_us=0)
+
+    def test_no_samples_is_zero(self):
+        probe = WorkConservationProbe(Simulator(), lambda: True, lambda: 0)
+        assert probe.violation_fraction == 0.0
+
+    def test_counts_violations(self):
+        sim = Simulator()
+        probe = WorkConservationProbe(
+            sim, device_idle=lambda: True, pending_requests=lambda: 5, period_us=10.0
+        )
+        probe.start()
+        sim.run_until(100.0)
+        assert probe.samples == 10
+        assert probe.violation_fraction == 1.0
+
+    def test_idle_without_pending_is_fine(self):
+        sim = Simulator()
+        probe = WorkConservationProbe(
+            sim, device_idle=lambda: True, pending_requests=lambda: 0, period_us=10.0
+        )
+        probe.start()
+        sim.run_until(100.0)
+        assert probe.violation_fraction == 0.0
+
+    def test_busy_device_with_pending_is_fine(self):
+        sim = Simulator()
+        probe = WorkConservationProbe(
+            sim, device_idle=lambda: False, pending_requests=lambda: 9, period_us=10.0
+        )
+        probe.start()
+        sim.run_until(100.0)
+        assert probe.violation_fraction == 0.0
+
+    def test_reset_clears_counters(self):
+        sim = Simulator()
+        probe = WorkConservationProbe(
+            sim, device_idle=lambda: True, pending_requests=lambda: 1, period_us=10.0
+        )
+        probe.start()
+        sim.run_until(50.0)
+        probe.reset()
+        assert probe.samples == 0
+        assert probe.violation_fraction == 0.0
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        probe = WorkConservationProbe(
+            sim, device_idle=lambda: True, pending_requests=lambda: 1, period_us=10.0
+        )
+        probe.start()
+        sim.run_until(30.0)
+        probe.stop()
+        samples = probe.samples
+        sim.run_until(200.0)
+        assert probe.samples == samples
+
+
+class TestDynamicIoMaxManager:
+    def make_manager(self, weights=None, bytes_fn=None, **kwargs):
+        sim = Simulator()
+        tree = CgroupHierarchy()
+        weights = weights or {"/t/a": 300.0, "/t/b": 100.0}
+        for path in weights:
+            tree.create(path, processes=True)
+        controller = IoMaxController(sim, tree, DEV)
+        state = {"bytes": {path: 0 for path in weights}}
+        kwargs.setdefault("adjust_period_us", 1000.0)
+        manager = DynamicIoMaxManager(
+            sim,
+            tree,
+            controller,
+            weights=weights,
+            max_read_bps=400e6,
+            bytes_completed_of=bytes_fn or (lambda path: state["bytes"][path]),
+            device_id=DEV,
+            **kwargs,
+        )
+        return sim, tree, controller, manager, state
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            self.make_manager(adjust_period_us=0)
+        with pytest.raises(ValueError):
+            self.make_manager(idle_floor_fraction=0.0)
+        sim = Simulator()
+        tree = CgroupHierarchy()
+        with pytest.raises(ValueError):
+            DynamicIoMaxManager(
+                sim, tree, IoMaxController(sim, tree, DEV), weights={},
+                max_read_bps=1.0, bytes_completed_of=lambda p: 0, device_id=DEV,
+            )
+
+    def test_initial_split_by_weight(self):
+        sim, tree, _, manager, _ = self.make_manager()
+        manager.start()
+        a = tree.find("/t/a").read_parsed("io.max", DEV)
+        b = tree.find("/t/b").read_parsed("io.max", DEV)
+        assert a.rbps == pytest.approx(300e6, rel=0.01)
+        assert b.rbps == pytest.approx(100e6, rel=0.01)
+
+    def test_idle_group_demoted_to_floor(self):
+        sim, tree, _, manager, state = self.make_manager()
+        manager.start()
+        # Only /t/b makes progress across the first window.
+        state["bytes"]["/t/b"] = 1000
+        sim.run_until(1000.0)
+        a = tree.find("/t/a").read_parsed("io.max", DEV)
+        b = tree.find("/t/b").read_parsed("io.max", DEV)
+        assert b.rbps == pytest.approx(400e6, rel=0.01)  # whole device
+        assert a.rbps < 20e6  # the floor
+
+    def test_resumed_group_reearns_share(self):
+        sim, tree, _, manager, state = self.make_manager()
+        manager.start()
+        state["bytes"]["/t/b"] = 1000
+        sim.run_until(1000.0)  # a demoted
+        state["bytes"]["/t/a"] = 500
+        state["bytes"]["/t/b"] = 2000
+        sim.run_until(2000.0)  # both active again
+        a = tree.find("/t/a").read_parsed("io.max", DEV)
+        assert a.rbps == pytest.approx(300e6, rel=0.01)
+
+    def test_all_idle_keeps_full_split(self):
+        sim, tree, _, manager, _ = self.make_manager()
+        manager.start()
+        sim.run_until(3000.0)  # nobody advances
+        a = tree.find("/t/a").read_parsed("io.max", DEV)
+        assert a.rbps == pytest.approx(300e6, rel=0.01)
+
+    def test_stop_halts_adjustments(self):
+        sim, _, _, manager, _ = self.make_manager()
+        manager.start()
+        manager.stop()
+        adjustments = manager.adjustments
+        sim.run_until(5000.0)
+        assert manager.adjustments == adjustments

@@ -1,0 +1,188 @@
+"""Unit tests for job specs and the closed-loop app driver."""
+
+import random
+
+import pytest
+
+from repro.iorequest import KIB, OpType, Pattern
+from repro.sim.engine import Simulator
+from repro.workloads.apps import batch_app, be_app, lc_app
+from repro.workloads.generator import App
+from repro.workloads.spec import ActivityWindow, CgroupAppGroup, JobSpec
+
+
+class TestActivityWindow:
+    def test_valid(self):
+        window = ActivityWindow(0.0, 100.0)
+        assert window.stop_us == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityWindow(-1.0)
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityWindow(100.0, 50.0)
+
+    def test_open_ended_by_default(self):
+        import math
+
+        assert math.isinf(ActivityWindow(0.0).stop_us)
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        spec = JobSpec(name="j", cgroup_path="/g")
+        assert spec.size == 4 * KIB
+        assert spec.is_read_only
+        assert spec.active_at(1e9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"size": 0},
+            {"read_fraction": 1.5},
+            {"read_fraction": -0.1},
+            {"queue_depth": 0},
+            {"rate_limit_bps": 0.0},
+            {"windows": ()},
+        ],
+    )
+    def test_validation(self, kwargs):
+        params = dict(name="j", cgroup_path="/g")
+        params.update(kwargs)
+        with pytest.raises(ValueError):
+            JobSpec(**params)
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="j",
+                cgroup_path="/g",
+                windows=(ActivityWindow(0.0, 100.0), ActivityWindow(50.0, 200.0)),
+            )
+
+    def test_active_at_respects_windows(self):
+        spec = JobSpec(
+            name="j",
+            cgroup_path="/g",
+            windows=(ActivityWindow(10.0, 20.0), ActivityWindow(30.0, 40.0)),
+        )
+        assert not spec.active_at(5.0)
+        assert spec.active_at(15.0)
+        assert not spec.active_at(25.0)
+        assert spec.active_at(35.0)
+        assert not spec.active_at(45.0)
+
+
+class TestAppPresets:
+    def test_lc_app_shape(self):
+        spec = lc_app("l", "/g")
+        assert spec.queue_depth == 1
+        assert spec.size == 4 * KIB
+        assert spec.app_class == "lc"
+
+    def test_batch_app_shape(self):
+        spec = batch_app("b", "/g")
+        assert spec.queue_depth == 256
+        assert spec.app_class == "batch"
+
+    def test_be_app_write_variant(self):
+        spec = be_app("w", "/g", read_fraction=0.0)
+        assert not spec.is_read_only
+        assert spec.app_class == "be"
+
+
+class TestCgroupAppGroup:
+    def test_mismatched_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CgroupAppGroup("/g", (JobSpec(name="j", cgroup_path="/other"),))
+
+
+class TestAppDriver:
+    @staticmethod
+    def run_app(spec, duration_us, complete_after_us=10.0):
+        """Drive an app against an instant-completion fake device."""
+        sim = Simulator()
+        submitted = []
+
+        app_holder = []
+
+        def submit(req):
+            submitted.append((sim.now, req))
+            sim.schedule(complete_after_us, lambda: app_holder[0].on_complete(req))
+
+        app = App(sim, spec, submit, random.Random(0))
+        app_holder.append(app)
+        app.start()
+        sim.run_until(duration_us)
+        return submitted, app
+
+    def test_keeps_queue_depth_outstanding(self):
+        spec = JobSpec(name="j", cgroup_path="/g", queue_depth=4)
+        submitted, app = self.run_app(spec, duration_us=5.0)
+        assert len(submitted) == 4  # initial fill, none completed yet
+
+    def test_closed_loop_reissues_on_completion(self):
+        spec = JobSpec(name="j", cgroup_path="/g", queue_depth=1)
+        submitted, _ = self.run_app(spec, duration_us=100.0)
+        # One completion every 10us -> ~10 sequential requests.
+        assert 9 <= len(submitted) <= 11
+
+    def test_stops_issuing_after_window(self):
+        spec = JobSpec(
+            name="j",
+            cgroup_path="/g",
+            queue_depth=1,
+            windows=(ActivityWindow(0.0, 50.0),),
+        )
+        submitted, app = self.run_app(spec, duration_us=500.0)
+        assert all(t < 50.0 for t, _ in submitted)
+        assert app.outstanding == 0
+
+    def test_starts_at_window_start(self):
+        spec = JobSpec(
+            name="j",
+            cgroup_path="/g",
+            queue_depth=1,
+            windows=(ActivityWindow(200.0, 400.0),),
+        )
+        submitted, _ = self.run_app(spec, duration_us=300.0)
+        assert submitted and submitted[0][0] == 200.0
+
+    def test_read_fraction_mixes_ops(self):
+        spec = JobSpec(name="j", cgroup_path="/g", queue_depth=1, read_fraction=0.5)
+        submitted, _ = self.run_app(spec, duration_us=10_000.0)
+        ops = {req.op for _, req in submitted}
+        assert ops == {OpType.READ, OpType.WRITE}
+
+    def test_read_only_never_writes(self):
+        spec = JobSpec(name="j", cgroup_path="/g", queue_depth=2, read_fraction=1.0)
+        submitted, _ = self.run_app(spec, duration_us=1_000.0)
+        assert all(req.op == OpType.READ for _, req in submitted)
+
+    def test_rate_limit_bounds_issue_rate(self):
+        # 4 KiB at 4 MiB/s -> ~1 request per ms.
+        spec = JobSpec(
+            name="j",
+            cgroup_path="/g",
+            queue_depth=8,
+            rate_limit_bps=4.0 * 1024 * 1024,
+        )
+        submitted, _ = self.run_app(spec, duration_us=20_000.0, complete_after_us=1.0)
+        assert len(submitted) <= 25  # ~20 expected
+
+    def test_request_metadata(self):
+        spec = JobSpec(name="j", cgroup_path="/g", pattern=Pattern.SEQUENTIAL)
+        sim = Simulator()
+        seen = []
+        app = App(sim, spec, seen.append, random.Random(0), device_index=3, prio_class=2)
+        app.start()
+        sim.run_until(1.0)
+        req = seen[0]
+        assert req.app_name == "j"
+        assert req.cgroup_path == "/g"
+        assert req.device_index == 3
+        assert req.prio_class == 2
+        assert req.pattern == Pattern.SEQUENTIAL
