@@ -33,6 +33,7 @@ from repro.core.config import (
 )
 from repro.core.runner import ScenarioResult, run_scenario
 from repro.iorequest import GIB, KIB, MIB, IoRequest, OpType, Pattern
+from repro.obs.config import TraceConfig
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,7 @@ __all__ = [
     "IoCostKnob",
     "ScenarioResult",
     "run_scenario",
+    "TraceConfig",
     "IoRequest",
     "OpType",
     "Pattern",

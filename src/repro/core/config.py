@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.cgroups.hierarchy import CgroupHierarchy
 from repro.cgroups.knobs import IoCostModelParams, IoCostQosParams
+from repro.obs.config import TraceConfig
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
 from repro.workloads.spec import JobSpec
@@ -224,6 +225,11 @@ class Scenario:
     # Page-cache tunables for buffered (direct=False) jobs; None uses
     # defaults when any buffered job is present.
     page_cache: object | None = None
+    # Observability: None (the default) keeps tracing and sampling fully
+    # off -- no hooks are installed and the event loop runs the bare hot
+    # path. A repro.obs.TraceConfig turns on request-lifecycle spans
+    # and/or io.stat-style periodic sampling.
+    trace: Optional[TraceConfig] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

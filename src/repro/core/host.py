@@ -109,6 +109,7 @@ class Host:
         self.apps = self._build_apps()
         self.page_caches = self._build_page_caches()
         self.iomax_managers = self._build_iomax_managers()
+        self.tracer, self.sampler = self._build_observability()
         self.wc_probes = [
             WorkConservationProbe(
                 self.sim,
@@ -233,6 +234,73 @@ class Host:
             for index in range(self.scenario.num_devices)
         ]
 
+    def _build_observability(self):
+        """Tracer + sampler per ``scenario.trace`` (both None when off).
+
+        Hooks are composed at construction time -- the tracer wraps the
+        collector's completion handler, the sampler is an independent
+        periodic event chain -- so a scenario without a TraceConfig runs
+        the exact un-instrumented hot path.
+        """
+        config = self.scenario.trace
+        if config is None:
+            return None, None
+        from repro.obs.sampler import StackSampler
+        from repro.obs.span import RequestTracer
+
+        tracer = None
+        if config.spans:
+            tracer = RequestTracer(max_spans=config.max_spans)
+            self.collector.attach_tracer(tracer)
+        sampler = None
+        if config.sampling:
+            sampler = StackSampler(
+                self.sim, config.sample_period_us, self._observability_snapshot()
+            )
+        return tracer, sampler
+
+    def _observability_snapshot(self):
+        """Build the sampler's per-tick snapshot function.
+
+        The closure keeps per-device busy-integral cursors so flash
+        utilization is reported per sampling interval (not lifetime).
+        """
+        iostat = self.collector.iostat_cursor()
+        flash_cursor = [0.0] * len(self.devices)
+        last_tick = [0.0]
+
+        def snapshot() -> dict[str, float]:
+            now = self.sim.now
+            row: dict[str, float] = {
+                "engine.pending_events": float(self.sim.pending_events()),
+                "engine.events_processed": float(self.sim.events_processed),
+            }
+            for i in range(len(self.devices)):
+                device = self.devices[i]
+                throttle = self.throttles[i]
+                scheduler = self.schedulers[i]
+                prefix = f"dev{i}."
+                row[prefix + "throttle.pending"] = float(throttle.pending())
+                for key, value in throttle.snapshot().items():
+                    row[f"{prefix}{throttle.name}.{key}"] = value
+                for key, value in scheduler.snapshot().items():
+                    row[f"{prefix}sched.{key}"] = value
+                for key, value in device.snapshot().items():
+                    row[f"{prefix}ssd.{key}"] = value
+                integral = device.flash.busy_integral()
+                elapsed = now - last_tick[0]
+                if elapsed > 0:
+                    span = elapsed * device.model.parallelism
+                    row[prefix + "ssd.flash_util"] = (
+                        integral - flash_cursor[i]
+                    ) / span
+                flash_cursor[i] = integral
+            row.update(iostat.advance())
+            last_tick[0] = now
+            return row
+
+        return snapshot
+
     def _build_page_caches(self):
         """One page cache per device, when any app runs buffered I/O."""
         if all(spec.direct for spec in self.scenario.apps):
@@ -315,6 +383,8 @@ class Host:
             probe.start()
         for manager in self.iomax_managers:
             manager.start()
+        if self.sampler is not None:
+            self.sampler.start()
 
         def begin_measurement():
             self.accounting.begin_window()

@@ -8,6 +8,7 @@ CDFs, aggregate bandwidth, weighted fairness, and the CPU profile.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.config import Scenario
@@ -17,6 +18,7 @@ from repro.iorequest import GIB
 from repro.metrics.collector import AppWindowStats, MetricsCollector
 from repro.metrics.fairness import weighted_jain_index
 from repro.metrics.latency import cdf
+from repro.obs.export import Trace
 
 
 @dataclass
@@ -29,10 +31,45 @@ class ScenarioResult:
     t_start_us: float
     t_end_us: float
     host: Host
+    # Engine performance counters: events fired and the wall-clock time
+    # spent firing them (perf diagnostics for the simulator itself).
+    events_processed: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def window_us(self) -> float:
         return self.t_end_us - self.t_start_us
+
+    @property
+    def events_per_sec(self) -> float:
+        """Wall-clock event-loop throughput of this run."""
+        return self.events_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def trace(self) -> Trace | None:
+        """The observability artifact, or None if tracing was off.
+
+        Bundles the recorded request spans and sampler rows with run
+        metadata, ready for the :mod:`repro.obs.export` writers.
+        """
+        tracer = self.host.tracer
+        sampler = self.host.sampler
+        if tracer is None and sampler is None:
+            return None
+        return Trace(
+            meta={
+                "scenario": self.scenario.name,
+                "knob": self.scenario.knob.label,
+                "num_devices": self.scenario.num_devices,
+                "device_scale": self.scenario.device_scale,
+                "seed": self.scenario.seed,
+                "duration_us": self.scenario.duration_us,
+                "warmup_us": self.scenario.warmup_us,
+            },
+            spans=tracer.spans if tracer is not None else [],
+            samples=sampler.samples if sampler is not None else [],
+            dropped_spans=tracer.dropped if tracer is not None else 0,
+        )
 
     # ------------------------------------------------------------------
     # Per-app / per-group views
@@ -109,6 +146,8 @@ class ScenarioResult:
             f"{self.scenario.num_devices} SSD(s), {self.scenario.cores} cores]",
             f"  aggregate bandwidth: {self.aggregate_bandwidth_gib_s:.3f} GiB/s",
             f"  cpu: {self.cpu}",
+            f"  engine: {self.events_processed:,} events in "
+            f"{self.wall_seconds:.2f}s wall ({self.events_per_sec:,.0f} events/s)",
         ]
         for name, stats in sorted(self.all_app_stats().items()):
             latency = f", {stats.latency}" if stats.latency else ""
@@ -122,7 +161,9 @@ class ScenarioResult:
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Build, run and measure one scenario."""
     host = Host(scenario)
+    wall_start = time.perf_counter()
     host.run()
+    wall_seconds = time.perf_counter() - wall_start
     return ScenarioResult(
         scenario=scenario,
         collector=host.collector,
@@ -130,4 +171,6 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         t_start_us=scenario.warmup_us,
         t_end_us=scenario.duration_us,
         host=host,
+        events_processed=host.sim.events_processed,
+        wall_seconds=wall_seconds,
     )

@@ -34,10 +34,23 @@ class ThrottleLayer:
     def pending(self) -> int:
         """Requests currently held back by this controller.
 
-        Feeds the work-conservation probe: held-back requests while the
-        device has idle capacity are sacrificed utilization (§II-B).
+        Feeds the work-conservation probe (held-back requests while the
+        device has idle capacity are sacrificed utilization, §II-B) and
+        the periodic stack sampler. Every controller must implement it;
+        a silent ``return 0`` stub would make a non-work-conserving knob
+        look perfect.
         """
-        return 0
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, float]:
+        """Controller internals for the periodic sampler (io.stat-style).
+
+        Returns a flat ``metric name -> value`` mapping; keys should be
+        stable across ticks so exported time series line up. The default
+        is empty: a stateless controller has nothing to report beyond
+        :meth:`pending`, which the sampler records separately.
+        """
+        return {}
 
 
 class PassthroughThrottle(ThrottleLayer):
@@ -47,6 +60,10 @@ class PassthroughThrottle(ThrottleLayer):
 
     def submit(self, req: IoRequest, forward: ForwardFn) -> None:
         forward(req)
+
+    def pending(self) -> int:
+        """A passthrough never holds requests back."""
+        return 0
 
 
 class IoScheduler:
@@ -77,3 +94,11 @@ class IoScheduler:
     def queued(self) -> int:
         """Number of requests currently held in scheduler queues."""
         raise NotImplementedError
+
+    def snapshot(self) -> dict[str, float]:
+        """Scheduler internals for the periodic sampler.
+
+        Schedulers with richer policy state (BFQ's in-service queue,
+        MQ-DL's per-class backlogs) override this to expose it.
+        """
+        return {"queued": float(self.queued())}

@@ -165,3 +165,16 @@ class BfqScheduler(IoScheduler):
 
     def queued(self) -> int:
         return sum(len(group.queue) for group in self._groups.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Slice-owner and per-group backlog state for the sampler."""
+        row: dict[str, float] = {
+            "queued": float(self.queued()),
+            "slice_used_bytes": float(self._slice_used_bytes),
+            "idling": 1.0 if self._idle_deadline is not None else 0.0,
+        }
+        for path, group in self._groups.items():
+            row[f"group.{path}.queued"] = float(len(group.queue))
+            row[f"group.{path}.in_flight"] = float(group.in_flight)
+            row[f"group.{path}.active"] = 1.0 if group is self._active else 0.0
+        return row

@@ -240,6 +240,25 @@ class IoCostController(ThrottleLayer):
     def pending(self) -> int:
         return sum(len(state.pending) for state in self._states.values())
 
+    def snapshot(self) -> dict[str, float]:
+        """vrate plus per-group budget state, like iocost_monitor.py."""
+        row: dict[str, float] = {
+            "vrate_pct": self.vrate * 100.0,
+            "active_groups": float(len(self._active)),
+        }
+        vnow = self.vnow()
+        for path, state in self._states.items():
+            # Positive debt: how far the group's vtime runs ahead of the
+            # global clock (it will be throttled once past the margin).
+            row[f"group.{path}.vtime_debt_us"] = state.vtime - vnow
+            row[f"group.{path}.pending"] = float(len(state.pending))
+            row[f"group.{path}.in_flight"] = float(state.in_flight)
+            row[f"group.{path}.hweight_pct"] = self._shares.get(path, 0.0) * 100.0
+            row[f"group.{path}.effective_share_pct"] = (
+                self._effective_shares.get(path, 0.0) * 100.0
+            )
+        return row
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------

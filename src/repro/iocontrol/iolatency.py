@@ -157,6 +157,17 @@ class IoLatencyController(ThrottleLayer):
     def pending(self) -> int:
         return sum(len(state.pending) for state in self._states.values())
 
+    def snapshot(self) -> dict[str, float]:
+        """Per-group window state (the io.latency half of io.stat debug)."""
+        row: dict[str, float] = {}
+        for path, state in self._states.items():
+            row[f"group.{path}.qd_limit"] = float(state.qd_limit)
+            row[f"group.{path}.in_flight"] = float(state.in_flight)
+            row[f"group.{path}.pending"] = float(len(state.pending))
+            row[f"group.{path}.use_delay"] = float(state.use_delay)
+            row[f"group.{path}.window_samples"] = float(len(state.window_latencies))
+        return row
+
     # -- introspection used by tests/benches ----------------------------
     def qd_limit_of(self, path: str) -> int:
         """Current effective queue depth of a group (max when unseen)."""

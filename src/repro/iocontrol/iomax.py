@@ -115,5 +115,18 @@ class IoMaxController(ThrottleLayer):
     def pending(self) -> int:
         return self._throttled_in_flight
 
+    def snapshot(self) -> dict[str, float]:
+        """Token levels of every limited group (negative = over budget)."""
+        row: dict[str, float] = {"throttled": float(self._throttled_in_flight)}
+        now = self.sim.now
+        for path, buckets in self._buckets.items():
+            if buckets is None:
+                continue
+            for key in ("rbps", "wbps", "riops", "wiops"):
+                bucket = getattr(buckets, key)
+                if bucket is not None:
+                    row[f"group.{path}.{key}_tokens"] = bucket.tokens(now)
+        return row
+
 
 _MISSING = object()

@@ -197,3 +197,12 @@ class MqDeadlineScheduler(IoScheduler):
 
     def queued(self) -> int:
         return sum(queues.size for queues in self._queues.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Per-priority-class backlog and in-flight depth."""
+        row: dict[str, float] = {"queued": float(self.queued())}
+        for cls in _CLASS_ORDER:
+            name = cls.name.lower()
+            row[f"class.{name}.queued"] = float(self._queues[cls].size)
+            row[f"class.{name}.in_flight"] = float(self._in_flight[cls])
+        return row

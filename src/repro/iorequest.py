@@ -39,6 +39,9 @@ class IoRequest:
       app-visible latency).
     * ``queued_time`` -- admitted past cgroup throttling into the scheduler.
     * ``dispatch_time`` -- dispatched from the scheduler to the device.
+    * ``device_start_time`` -- entered device service (past the NVMe
+      queue-depth boundary); ``device_start_time - dispatch_time`` is the
+      boundary wait.
     * ``complete_time`` -- device completion reached the app.
     """
 
@@ -53,6 +56,7 @@ class IoRequest:
         "submit_time",
         "queued_time",
         "dispatch_time",
+        "device_start_time",
         "complete_time",
         "abs_cost",
     )
@@ -77,6 +81,7 @@ class IoRequest:
         self.submit_time = 0.0
         self.queued_time = 0.0
         self.dispatch_time = 0.0
+        self.device_start_time = 0.0
         self.complete_time = 0.0
         # Filled in by the io.cost controller: the request's absolute cost
         # in device-microseconds according to the configured io.cost.model.

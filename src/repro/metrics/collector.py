@@ -152,3 +152,67 @@ class MetricsCollector:
             for log in self._logs.values()
             if log.cgroup_path == cgroup_path
         )
+
+    # ------------------------------------------------------------------
+    # Observability hooks
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Tee completions into a :class:`~repro.obs.span.RequestTracer`.
+
+        Installed by wrapping :meth:`on_complete` with an instance
+        attribute rather than adding a branch to the method, so the
+        un-traced hot path stays identical to the seed.
+        """
+        inner = self.on_complete
+        record = tracer.record
+
+        def tapped(req: IoRequest) -> None:
+            inner(req)
+            record(req)
+
+        self.on_complete = tapped  # type: ignore[method-assign]
+
+    def iostat_cursor(self) -> "_IoStatCursor":
+        """Incremental cumulative per-cgroup counters (io.stat lines).
+
+        Each :meth:`_IoStatCursor.advance` call folds only completions
+        recorded since the previous call into its running totals, so a
+        periodic sampler pays O(new completions) per tick instead of
+        rescanning every log.
+        """
+        return _IoStatCursor(self._logs)
+
+
+class _IoStatCursor:
+    """Running per-cgroup rbytes/wbytes/rios/wios totals."""
+
+    _FIELDS = ("rbytes", "wbytes", "rios", "wios")
+
+    def __init__(self, logs: dict[str, _AppLog]):
+        self._logs = logs
+        self._offsets: dict[str, int] = {name: 0 for name in logs}
+        self._totals: dict[str, list[float]] = {}
+
+    def advance(self) -> dict[str, float]:
+        """Fold new completions in; return flat cumulative counters."""
+        for app_name, log in self._logs.items():
+            offset = self._offsets.get(app_name, 0)
+            if offset >= len(log.sizes):
+                continue
+            totals = self._totals.get(log.cgroup_path)
+            if totals is None:
+                totals = [0.0, 0.0, 0.0, 0.0]
+                self._totals[log.cgroup_path] = totals
+            for size, op in zip(log.sizes[offset:], log.ops[offset:]):
+                if op == int(OpType.READ):
+                    totals[0] += size
+                    totals[2] += 1
+                else:
+                    totals[1] += size
+                    totals[3] += 1
+            self._offsets[app_name] = len(log.sizes)
+        row: dict[str, float] = {}
+        for path, totals in self._totals.items():
+            for field_name, value in zip(self._FIELDS, totals):
+                row[f"cgroup.{path}.{field_name}"] = value
+        return row

@@ -1,0 +1,42 @@
+"""Observability configuration.
+
+A scenario opts into tracing by setting ``Scenario.trace`` to a
+:class:`TraceConfig`; the default (``None``) keeps the whole subsystem
+dormant: no tracer or sampler objects are built, no hooks are installed,
+and the event loop runs the exact seed hot path. This pay-for-what-you-
+use contract is guarded by a benchmark test — the D1 overhead results
+depend on the un-traced pipeline staying fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What to record during a scenario run.
+
+    * ``spans`` — record one :class:`~repro.obs.span.RequestSpan` per
+      completed request (submit / throttle-admit / dispatch / device-start
+      / complete timestamps plus derived latency attribution).
+    * ``sample_period_us`` — period of the ``io.stat``-style stack
+      sampler; ``0`` disables periodic sampling.
+    * ``max_spans`` — cap on retained spans (``0`` = unbounded). Once the
+      cap is hit further spans are counted as dropped, not stored, so a
+      long run cannot exhaust memory.
+    """
+
+    spans: bool = True
+    sample_period_us: float = 10_000.0
+    max_spans: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_period_us < 0:
+            raise ValueError("sample period must be >= 0 (0 disables sampling)")
+        if self.max_spans < 0:
+            raise ValueError("max_spans must be >= 0 (0 means unbounded)")
+
+    @property
+    def sampling(self) -> bool:
+        return self.sample_period_us > 0

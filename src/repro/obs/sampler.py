@@ -1,0 +1,67 @@
+"""Sim-clock-driven periodic sampling (``io.stat`` / ``io.pressure`` style).
+
+Linux exposes controller internals as periodically-readable files:
+``io.stat`` (cumulative per-cgroup byte/IO counters), ``io.pressure``
+(stall shares) and per-controller debug state. The sampler reproduces
+that view for the simulation: every ``period_us`` of *simulated* time it
+calls a snapshot function composed by the host — engine pending events,
+per-controller ``pending()`` and internals (iocost vrate/vtime debt,
+iolatency queue-depth limits), scheduler queue depths, device in-flight /
+utilization / GC state, and cumulative per-cgroup I/O counters — and
+appends one flat row to its time series.
+
+Rows are plain ``dict[str, float|int]`` keyed by dotted metric names so
+exporters can serialize them without a schema; the set of keys may grow
+over the run (cgroups appear in the active set when they first do I/O).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+SnapshotFn = Callable[[], Mapping[str, float]]
+
+
+class StackSampler:
+    """Polls a snapshot function at a fixed simulated period."""
+
+    def __init__(self, sim, period_us: float, snapshot: SnapshotFn):
+        if period_us <= 0:
+            raise ValueError("sampler period must be positive")
+        self.sim = sim
+        self.period_us = period_us
+        self.snapshot = snapshot
+        self.samples: list[dict] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent). First sample after one period."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.period_us, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        row = {"t_us": self.sim.now}
+        row.update(self.snapshot())
+        self.samples.append(row)
+        self.sim.schedule(self.period_us, self._tick)
+
+    def keys(self) -> list[str]:
+        """Union of metric names across all samples, ``t_us`` first."""
+        seen: dict[str, None] = {"t_us": None}
+        for row in self.samples:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def series(self, key: str, default: float = 0.0) -> tuple[list[float], list[float]]:
+        """One metric as ``(times_us, values)`` (missing rows -> default)."""
+        times = [row["t_us"] for row in self.samples]
+        values = [row.get(key, default) for row in self.samples]
+        return times, values

@@ -1,0 +1,242 @@
+"""Per-request lifecycle spans and latency attribution.
+
+One :class:`RequestSpan` is recorded per completed request, snapshotting
+the timestamps the pipeline already stamps on the request as it moves
+submit -> throttle-admit -> scheduler-dispatch -> device-start ->
+complete (the same transitions blktrace exposes as Q/G/D/C actions).
+The derived attribution splits app-visible latency into three disjoint
+components:
+
+* ``held_us``    — submit to throttle admission (cgroup I/O control hold
+  plus the per-I/O submission CPU cost);
+* ``queued_us``  — admission to scheduler dispatch (scheduler queues and
+  the serialized dispatch section);
+* ``service_us`` — dispatch to app-visible completion (device boundary
+  wait, flash + bus service, completion CPU cost).
+
+The three sum exactly to ``latency_us``, which the observability tests
+assert as an invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iorequest import IoRequest, OpType, Pattern
+
+
+class RequestSpan:
+    """Lifecycle record of one completed request."""
+
+    __slots__ = (
+        "app",
+        "cgroup",
+        "op",
+        "pattern",
+        "size",
+        "device_index",
+        "submit_us",
+        "admit_us",
+        "dispatch_us",
+        "device_us",
+        "complete_us",
+    )
+
+    def __init__(
+        self,
+        app: str,
+        cgroup: str,
+        op: int,
+        pattern: int,
+        size: int,
+        device_index: int,
+        submit_us: float,
+        admit_us: float,
+        dispatch_us: float,
+        device_us: float,
+        complete_us: float,
+    ):
+        self.app = app
+        self.cgroup = cgroup
+        self.op = op
+        self.pattern = pattern
+        self.size = size
+        self.device_index = device_index
+        self.submit_us = submit_us
+        self.admit_us = admit_us
+        self.dispatch_us = dispatch_us
+        self.device_us = device_us
+        self.complete_us = complete_us
+
+    # -- derived attribution -------------------------------------------
+    @property
+    def held_us(self) -> float:
+        """Submission to throttle admission (cgroup hold + submit CPU)."""
+        return self.admit_us - self.submit_us
+
+    @property
+    def queued_us(self) -> float:
+        """Throttle admission to scheduler dispatch."""
+        return self.dispatch_us - self.admit_us
+
+    @property
+    def service_us(self) -> float:
+        """Scheduler dispatch to app-visible completion."""
+        return self.complete_us - self.dispatch_us
+
+    @property
+    def device_wait_us(self) -> float:
+        """Dispatch to device start (NVMe queue-bound boundary wait)."""
+        return self.device_us - self.dispatch_us
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end app-visible latency."""
+        return self.complete_us - self.submit_us
+
+    def op_name(self) -> str:
+        return OpType(self.op).name.lower()
+
+    def pattern_name(self) -> str:
+        return Pattern(self.pattern).name.lower()
+
+    def as_dict(self) -> dict:
+        """Flat record used by the JSONL/CSV exporters."""
+        return {
+            "app": self.app,
+            "cgroup": self.cgroup,
+            "op": self.op_name(),
+            "pattern": self.pattern_name(),
+            "size": self.size,
+            "device_index": self.device_index,
+            "submit_us": self.submit_us,
+            "admit_us": self.admit_us,
+            "dispatch_us": self.dispatch_us,
+            "device_us": self.device_us,
+            "complete_us": self.complete_us,
+            "held_us": self.held_us,
+            "queued_us": self.queued_us,
+            "service_us": self.service_us,
+            "latency_us": self.latency_us,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RequestSpan":
+        return cls(
+            app=record["app"],
+            cgroup=record["cgroup"],
+            op=int(OpType[record["op"].upper()]),
+            pattern=int(Pattern[record["pattern"].upper()]),
+            size=int(record["size"]),
+            device_index=int(record["device_index"]),
+            submit_us=float(record["submit_us"]),
+            admit_us=float(record["admit_us"]),
+            dispatch_us=float(record["dispatch_us"]),
+            device_us=float(record["device_us"]),
+            complete_us=float(record["complete_us"]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestSpan):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestSpan({self.app}, {self.op_name()}, "
+            f"submit={self.submit_us:.1f}, latency={self.latency_us:.1f}us)"
+        )
+
+
+@dataclass(frozen=True)
+class LatencyAttribution:
+    """Summed latency components of one app (or cgroup)."""
+
+    name: str
+    ios: int
+    held_us: float
+    queued_us: float
+    service_us: float
+    latency_us: float
+
+    @property
+    def mean_held_us(self) -> float:
+        return self.held_us / self.ios if self.ios else 0.0
+
+    @property
+    def mean_queued_us(self) -> float:
+        return self.queued_us / self.ios if self.ios else 0.0
+
+    @property
+    def mean_service_us(self) -> float:
+        return self.service_us / self.ios if self.ios else 0.0
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.latency_us / self.ios if self.ios else 0.0
+
+
+class RequestTracer:
+    """Accumulates request spans during a traced run.
+
+    The tracer is only instantiated when ``Scenario.trace`` enables
+    spans; the collector then *wraps* its completion handler with
+    :meth:`record`, so the disabled path carries no extra branch.
+    """
+
+    def __init__(self, max_spans: int = 0):
+        self.max_spans = max_spans
+        self.spans: list[RequestSpan] = []
+        self.dropped = 0
+
+    def record(self, req: IoRequest) -> None:
+        """Snapshot a completed request's lifecycle timestamps."""
+        if self.max_spans and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(
+            RequestSpan(
+                app=req.app_name,
+                cgroup=req.cgroup_path,
+                op=int(req.op),
+                pattern=int(req.pattern),
+                size=req.size,
+                device_index=req.device_index,
+                submit_us=req.submit_time,
+                admit_us=req.queued_time,
+                dispatch_us=req.dispatch_time,
+                device_us=req.device_start_time,
+                complete_us=req.complete_time,
+            )
+        )
+
+    # -- aggregation ----------------------------------------------------
+    def attribution(self, by: str = "app") -> dict[str, LatencyAttribution]:
+        """Per-app (or per-cgroup, ``by="cgroup"``) latency attribution."""
+        if by not in ("app", "cgroup"):
+            raise ValueError(f"attribution key must be 'app' or 'cgroup', got {by!r}")
+        sums: dict[str, list[float]] = {}
+        for span in self.spans:
+            key = span.app if by == "app" else span.cgroup
+            acc = sums.get(key)
+            if acc is None:
+                acc = [0, 0.0, 0.0, 0.0, 0.0]
+                sums[key] = acc
+            acc[0] += 1
+            acc[1] += span.held_us
+            acc[2] += span.queued_us
+            acc[3] += span.service_us
+            acc[4] += span.latency_us
+        return {
+            key: LatencyAttribution(
+                name=key,
+                ios=int(acc[0]),
+                held_us=acc[1],
+                queued_us=acc[2],
+                service_us=acc[3],
+                latency_us=acc[4],
+            )
+            for key, acc in sorted(sums.items())
+        }

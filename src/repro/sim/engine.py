@@ -9,7 +9,7 @@ chained callbacks.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 
@@ -22,10 +22,19 @@ class _Event:
 
     Cancellation is implemented with a flag rather than heap removal:
     removing from the middle of a heap is O(n), flipping a flag is O(1)
-    and cancelled events are simply skipped when popped.
+    and cancelled events are simply skipped when popped. Fired events are
+    flagged cancelled too (consumed), which both makes cancel-after-fire
+    a no-op and lets the simulator keep an O(1) pending-event count as
+    ``len(heap) - (cancelled_total - cancelled_popped)`` with zero extra
+    work in the fire path beyond the flag store.
     """
 
     __slots__ = ("time", "seq", "fn", "cancelled")
+
+    # Set as a class attribute on a per-simulator subclass (see
+    # Simulator.__init__) so the constructor stays four stores — event
+    # creation is the hottest allocation in the simulator.
+    sim: "Simulator"
 
     def __init__(self, time: float, seq: int, fn: Callable[[], Any]):
         self.time = time
@@ -40,7 +49,9 @@ class _Event:
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if already fired)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self.sim._cancelled_total += 1
 
 
 class Simulator:
@@ -54,7 +65,16 @@ class Simulator:
         self._now = 0.0
         self._heap: list[_Event] = []
         self._seq = 0
-        self._events_processed = 0
+        # Cancellation bookkeeping lives entirely on the rare paths:
+        # cancel() bumps _cancelled_total, popping a cancelled event bumps
+        # _cancelled_popped. Every derived counter below is then O(1)
+        # arithmetic with zero per-fire cost.
+        self._cancelled_total = 0
+        self._cancelled_popped = 0
+        # Events reach their simulator through a class attribute rather
+        # than an instance slot: cancel() is rare, event construction is
+        # not, and this keeps the constructor as cheap as a plain event.
+        self._event_cls = type("_BoundEvent", (_Event,), {"sim": self, "__slots__": ()})
 
     @property
     def now(self) -> float:
@@ -63,8 +83,15 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events fired so far (useful for perf diagnostics)."""
-        return self._events_processed
+        """Number of events fired so far (useful for perf diagnostics).
+
+        Derived rather than counted: every scheduled event is either still
+        in the heap, was popped cancelled, or fired. Keeping this out of
+        the fire loop pays for the consumed-flag store, so the loop does
+        the same number of attribute stores per event as a loop with no
+        cancellation bookkeeping at all.
+        """
+        return self._seq - len(self._heap) - self._cancelled_popped
 
     def schedule(self, delay_us: float, fn: Callable[[], Any]) -> _Event:
         """Schedule ``fn`` to run ``delay_us`` microseconds from now.
@@ -74,9 +101,9 @@ class Simulator:
         """
         if delay_us < 0:
             raise SimulationError(f"cannot schedule event {delay_us}us in the past")
-        event = _Event(self._now + delay_us, self._seq, fn)
+        event = self._event_cls(self._now + delay_us, self._seq, fn)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, event)
         return event
 
     def schedule_at(self, time_us: float, fn: Callable[[], Any]) -> _Event:
@@ -90,29 +117,33 @@ class Simulator:
         finishes at ``end_time_us`` even if the heap drains earlier.
         """
         heap = self._heap
+        pop = heappop
         while heap:
             event = heap[0]
             if event.time > end_time_us:
                 break
-            heapq.heappop(heap)
+            pop(heap)
             if event.cancelled:
+                self._cancelled_popped += 1
                 continue
+            event.cancelled = True  # consumed: cancel() is now a no-op
             self._now = event.time
-            self._events_processed += 1
             event.fn()
         self._now = max(self._now, end_time_us)
 
     def run(self) -> None:
         """Run until no events remain."""
         heap = self._heap
+        pop = heappop
         while heap:
-            event = heapq.heappop(heap)
+            event = pop(heap)
             if event.cancelled:
+                self._cancelled_popped += 1
                 continue
+            event.cancelled = True  # consumed: cancel() is now a no-op
             self._now = event.time
-            self._events_processed += 1
             event.fn()
 
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return len(self._heap) - (self._cancelled_total - self._cancelled_popped)

@@ -63,6 +63,7 @@ class SimulatedNvmeDevice:
             self._start(req, done)
 
     def _start(self, req: IoRequest, done: CompletionFn) -> None:
+        req.device_start_time = self.sim.now
         self._in_flight += 1
         flash_cost = self.model.fixed_cost_us(req.op, req.pattern) * self._noise()
         if req.op == OpType.WRITE:
@@ -127,3 +128,22 @@ class SimulatedNvmeDevice:
         non-work-conserving at that moment.
         """
         return self.flash.busy < self.model.parallelism
+
+    def snapshot(self) -> dict[str, float]:
+        """Instantaneous device state for the periodic sampler.
+
+        Cumulative byte/request counters are included so the sampled
+        series differentiate into per-interval throughput, like io.stat.
+        """
+        return {
+            "in_flight": float(self._in_flight),
+            "boundary_queue": float(len(self._boundary_queue)),
+            "flash_busy": float(self.flash.busy),
+            "bus_busy": float(self.bus.busy),
+            "rbytes": float(self.bytes_completed[OpType.READ]),
+            "wbytes": float(self.bytes_completed[OpType.WRITE]),
+            "rios": float(self.requests_completed[OpType.READ]),
+            "wios": float(self.requests_completed[OpType.WRITE]),
+            "gc_waf": self.gc.write_amplification,
+            "gc_amplified_bytes": float(self.gc.amplified_bytes),
+        }

@@ -5,6 +5,7 @@ Subcommands mirror the benchmark suite::
     isol-bench describe-device [flash|optane]
     isol-bench coef-gen [flash|optane]       # io.cost model generation
     isol-bench run --knob io.cost ...        # one ad-hoc scenario
+    isol-bench trace --knob io.cost --out t.json   # traced run -> timeline
     isol-bench table1 [--quick]              # the paper's Table I
 
 All output is plain text; heavy lifting lives in :mod:`repro.core`.
@@ -26,6 +27,13 @@ from repro.core.config import (
     Scenario,
 )
 from repro.core.runner import run_scenario
+from repro.obs import (
+    TraceConfig,
+    write_chrome_trace,
+    write_jsonl,
+    write_samples_csv,
+    write_spans_csv,
+)
 from repro.ssd.model import describe_model
 from repro.ssd.presets import get_preset
 from repro.tools.iocost_coef_gen import derive_model, format_model_line
@@ -58,7 +66,7 @@ def _make_knob(name: str):
     return knobs[name]()
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _scenario_from_args(args: argparse.Namespace, name: str, trace=None) -> Scenario:
     apps = []
     for i in range(args.batch_apps):
         apps.append(
@@ -68,8 +76,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         apps.append(lc_app(f"lc{i}", f"/tenants/lc{i}"))
     if not apps:
         raise SystemExit("need at least one app (--batch-apps/--lc-apps)")
-    scenario = Scenario(
-        name="cli-run",
+    return Scenario(
+        name=name,
         knob=_make_knob(args.knob),
         apps=apps,
         ssd_model=get_preset(args.device),
@@ -79,9 +87,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup_s=args.duration * 0.25,
         device_scale=args.device_scale,
         seed=args.seed,
+        trace=trace,
     )
-    result = run_scenario(scenario)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_scenario(_scenario_from_args(args, "cli-run"))
     print(result.describe())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = TraceConfig(sample_period_us=args.sample_period_us)
+    scenario = _scenario_from_args(args, "cli-trace", trace=config)
+    result = run_scenario(scenario)
+    trace = result.trace
+    assert trace is not None
+
+    if args.format == "chrome":
+        write_chrome_trace(trace, args.out)
+        written = [args.out]
+    elif args.format == "jsonl":
+        write_jsonl(trace, args.out)
+        written = [args.out]
+    else:  # csv: two flat tables next to each other
+        spans_path = args.out + ".spans.csv"
+        samples_path = args.out + ".samples.csv"
+        write_spans_csv(trace, spans_path)
+        write_samples_csv(trace, samples_path)
+        written = [spans_path, samples_path]
+
+    print(result.describe())
+    print(
+        f"\ntraced {len(trace.spans)} request spans"
+        + (f" ({trace.dropped_spans} dropped)" if trace.dropped_spans else "")
+        + f", {len(trace.samples)} sampler rows "
+        f"(period {config.sample_period_us:g} us)"
+    )
+    print("\nlatency attribution (mean us per request):")
+    header = f"  {'app':<12s} {'ios':>9s} {'held':>10s} {'queued':>10s} {'service':>10s} {'end-to-end':>11s}"
+    print(header)
+    for name, attr in result.trace.attribution().items():
+        print(
+            f"  {name:<12s} {attr.ios:>9d} {attr.mean_held_us:>10.1f} "
+            f"{attr.mean_queued_us:>10.1f} {attr.mean_service_us:>10.1f} "
+            f"{attr.mean_latency_us:>11.1f}"
+        )
+    for path in written:
+        print(f"\nwrote {args.format} trace: {path}")
+    if args.format == "chrome":
+        print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -109,6 +164,19 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_scenario_args(p: argparse.ArgumentParser, default_lc_apps: int = 0) -> None:
+    p.add_argument("--knob", default="none")
+    p.add_argument("--device", default="flash", choices=("flash", "optane"))
+    p.add_argument("--devices", type=int, default=1)
+    p.add_argument("--cores", type=int, default=10)
+    p.add_argument("--batch-apps", type=int, default=2)
+    p.add_argument("--lc-apps", type=int, default=default_lc_apps)
+    p.add_argument("--size", type=int, default=4, help="request size in KiB")
+    p.add_argument("--duration", type=float, default=0.5)
+    p.add_argument("--device-scale", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=42)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="isol-bench",
@@ -126,17 +194,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_coef_gen)
 
     p = sub.add_parser("run", help="run one ad-hoc scenario")
-    p.add_argument("--knob", default="none")
-    p.add_argument("--device", default="flash", choices=("flash", "optane"))
-    p.add_argument("--devices", type=int, default=1)
-    p.add_argument("--cores", type=int, default=10)
-    p.add_argument("--batch-apps", type=int, default=2)
-    p.add_argument("--lc-apps", type=int, default=0)
-    p.add_argument("--size", type=int, default=4, help="request size in KiB")
-    p.add_argument("--duration", type=float, default=0.5)
-    p.add_argument("--device-scale", type=float, default=4.0)
-    p.add_argument("--seed", type=int, default=42)
+    _add_scenario_args(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced scenario and export a browsable timeline",
+    )
+    _add_scenario_args(p, default_lc_apps=1)
+    p.add_argument(
+        "--out",
+        default="/tmp/isol-bench-trace.json",
+        help="output path (csv format appends .spans.csv/.samples.csv)",
+    )
+    p.add_argument(
+        "--format",
+        default="chrome",
+        choices=("chrome", "jsonl", "csv"),
+        help="chrome = Perfetto/chrome://tracing JSON (default)",
+    )
+    p.add_argument(
+        "--sample-period-us",
+        type=float,
+        default=5_000.0,
+        help="stack sampler period in simulated us (0 disables sampling)",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table I")
     p.add_argument("--quick", action="store_true")

@@ -1,0 +1,137 @@
+"""Exporter round-trips: JSONL, CSV, and Chrome Trace Event Format."""
+
+import json
+
+import pytest
+
+from repro import NoneKnob, Scenario, TraceConfig, run_scenario
+from repro.iorequest import KIB
+from repro.obs.export import (
+    SPAN_FIELDS,
+    Trace,
+    chrome_trace_events,
+    read_jsonl,
+    read_samples_csv,
+    read_spans_csv,
+    write_chrome_trace,
+    write_jsonl,
+    write_samples_csv,
+    write_spans_csv,
+)
+from repro.workloads.apps import batch_app, lc_app
+
+
+@pytest.fixture(scope="module")
+def trace():
+    scenario = Scenario(
+        name="export-test",
+        knob=NoneKnob(),
+        apps=[
+            batch_app("batch0", "/tenants/batch", size=64 * KIB),
+            lc_app("lc0", "/tenants/lc"),
+        ],
+        duration_s=0.05,
+        warmup_s=0.01,
+        device_scale=8.0,
+        trace=TraceConfig(sample_period_us=5_000.0),
+    )
+    return run_scenario(scenario).trace
+
+
+class TestJsonl:
+    def test_round_trip(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(trace, path)
+        parsed = read_jsonl(path)
+        assert parsed.spans == trace.spans
+        assert parsed.samples == trace.samples
+        assert parsed.meta == trace.meta
+        assert parsed.dropped_spans == trace.dropped_spans
+
+    def test_every_line_is_valid_json_with_a_type(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(trace, path)
+        with open(path) as fh:
+            kinds = [json.loads(line)["type"] for line in fh]
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == len(trace.spans)
+        assert kinds.count("sample") == len(trace.samples)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(str(path))
+
+
+class TestCsv:
+    def test_spans_round_trip(self, trace, tmp_path):
+        path = str(tmp_path / "spans.csv")
+        write_spans_csv(trace, path)
+        parsed = read_spans_csv(path)
+        assert parsed == trace.spans
+
+    def test_span_columns_are_stable(self, trace, tmp_path):
+        path = str(tmp_path / "spans.csv")
+        write_spans_csv(trace, path)
+        with open(path) as fh:
+            header = fh.readline().strip().split(",")
+        assert tuple(header) == SPAN_FIELDS
+
+    def test_samples_round_trip(self, trace, tmp_path):
+        path = str(tmp_path / "samples.csv")
+        write_samples_csv(trace, path)
+        parsed = read_samples_csv(path)
+        assert len(parsed) == len(trace.samples)
+        for row, original in zip(parsed, trace.samples):
+            assert row == pytest.approx(original)
+
+
+class TestChromeTrace:
+    def test_document_is_valid_json_with_trace_events(self, trace, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        write_chrome_trace(trace, path)
+        with open(path) as fh:
+            document = json.load(fh)
+        assert isinstance(document["traceEvents"], list)
+        assert document["traceEvents"]
+        assert document["otherData"]["scenario"] == "export-test"
+
+    def test_every_event_has_required_fields(self, trace):
+        for event in chrome_trace_events(trace):
+            assert "ph" in event
+            assert "ts" in event
+            assert "pid" in event
+
+    def test_three_phase_slices_per_span(self, trace):
+        events = chrome_trace_events(trace)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 3 * len(trace.spans)
+        names = {e["name"] for e in slices}
+        assert names == {"held", "queued", "service"}
+
+    def test_counter_events_for_sampled_series(self, trace):
+        events = chrome_trace_events(trace)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert all("value" in e["args"] for e in counters)
+
+    def test_lanes_never_overlap(self, trace):
+        """Slices sharing a (pid, tid) lane must not overlap in time."""
+        lanes: dict[tuple, list] = {}
+        for event in chrome_trace_events(trace):
+            if event["ph"] != "X" or event["name"] != "service":
+                continue
+            lanes.setdefault((event["pid"], event["tid"]), []).append(
+                (event["ts"], event["ts"] + event["dur"])
+            )
+        for intervals in lanes.values():
+            intervals.sort()
+            for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+                assert start_b >= end_a - 1e-9
+
+    def test_empty_trace_exports_cleanly(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        write_chrome_trace(Trace(), path)
+        with open(path) as fh:
+            assert json.load(fh)["traceEvents"] == []

@@ -130,6 +130,66 @@ class TestRunUntil:
         assert sim.events_processed == 5
 
 
+class TestPendingEvents:
+    """The live count must track schedule/cancel/fire without heap scans."""
+
+    def test_counts_scheduled_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.pending_events() == 5
+
+    def test_fired_events_leave_the_count(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.schedule(50.0, lambda: None)
+        sim.run_until(20.0)
+        assert sim.pending_events() == 1
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events() == 1
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        sim.run_until(15.0)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+    def test_count_visible_from_inside_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append(sim.pending_events()))
+        sim.schedule(20.0, lambda: None)
+        sim.schedule(30.0, lambda: None)
+        sim.run()
+        # While the first callback runs, only the two later events remain.
+        assert seen == [2]
+
+    def test_matches_brute_force_under_churn(self):
+        sim = Simulator()
+        events = []
+
+        def spawn():
+            events.append(sim.schedule(7.0, lambda: None))
+
+        for i in range(50):
+            events.append(sim.schedule(float(i % 7) + 1.0, spawn if i % 3 else (lambda: None)))
+        for event in events[::4]:
+            event.cancel()
+        sim.run_until(4.0)
+        brute = sum(1 for event in sim._heap if not event.cancelled)
+        assert sim.pending_events() == brute
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def run_once():

@@ -1,0 +1,126 @@
+"""Every registered throttle controller must report held-back requests.
+
+``ThrottleLayer.pending()`` feeds both the work-conservation probe and
+the periodic stack sampler; a controller silently inheriting a
+``return 0`` stub would make a non-work-conserving knob look perfect.
+The base class therefore raises, and this suite asserts each concrete
+controller both overrides the method and counts correctly.
+"""
+
+import pytest
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.cgroups.knobs import IoCostModelParams, IoCostQosParams
+from repro.iocontrol.base import PassthroughThrottle, ThrottleLayer
+from repro.iocontrol.iocost import IoCostController
+from repro.iocontrol.iolatency import IoLatencyController
+from repro.iocontrol.iomax import IoMaxController
+from repro.iorequest import GIB, IoRequest, KIB, MIB, OpType, Pattern
+from repro.sim.engine import Simulator
+
+DEV = "259:0"
+
+
+def make_request(cgroup="/t/a", size=4 * KIB):
+    return IoRequest("app", cgroup, OpType.READ, Pattern.RANDOM, size)
+
+
+def _all_throttle_layers(cls=ThrottleLayer):
+    subclasses = set()
+    for sub in cls.__subclasses__():
+        subclasses.add(sub)
+        subclasses.update(_all_throttle_layers(sub))
+    return subclasses
+
+
+class TestContract:
+    def test_base_stub_is_not_silently_zero(self):
+        with pytest.raises(NotImplementedError):
+            ThrottleLayer().pending()
+
+    def test_every_registered_controller_overrides_pending(self):
+        layers = _all_throttle_layers()
+        assert {
+            PassthroughThrottle,
+            IoMaxController,
+            IoLatencyController,
+            IoCostController,
+        } <= layers
+        missing = [cls.__name__ for cls in layers if "pending" not in cls.__dict__]
+        assert missing == [], f"controllers inheriting the base pending(): {missing}"
+
+
+class TestPassthrough:
+    def test_never_holds_requests(self):
+        controller = PassthroughThrottle()
+        admitted = []
+        for _ in range(5):
+            controller.submit(make_request(), admitted.append)
+        assert controller.pending() == 0
+        assert len(admitted) == 5
+
+
+class TestIoMaxPending:
+    def test_counts_token_delayed_requests(self):
+        sim = Simulator()
+        tree = CgroupHierarchy()
+        tree.create("/t/a", processes=True)
+        tree.find("/t/a").write("io.max", f"{DEV} rbps={MIB}")
+        controller = IoMaxController(sim, tree, DEV)
+        admitted = []
+        # Burst covers ~10 ms at 1 MiB/s (~2.5 requests of 4 KiB); the
+        # rest sit in the throttle until their tokens accrue.
+        for _ in range(10):
+            controller.submit(make_request(), admitted.append)
+        assert controller.pending() == 10 - len(admitted) > 0
+        sim.run()
+        assert controller.pending() == 0
+        assert len(admitted) == 10
+
+
+class TestIoLatencyPending:
+    def test_counts_requests_beyond_qd_limit(self):
+        sim = Simulator()
+        tree = CgroupHierarchy()
+        tree.create("/t/a", processes=True)
+        controller = IoLatencyController(sim, tree, DEV, max_qd=2)
+        admitted = []
+        for _ in range(5):
+            controller.submit(make_request(), admitted.append)
+        assert len(admitted) == 2
+        assert controller.pending() == 3
+        # Completions drain the queue one for one.
+        controller.on_complete(admitted[0])
+        assert controller.pending() == 2
+        assert len(admitted) == 3
+
+
+class TestIoCostPending:
+    def test_counts_over_budget_requests(self):
+        sim = Simulator()
+        tree = CgroupHierarchy()
+        tree.create("/t/a", processes=True)
+        tree.find("/t/a").write("io.weight", "100")
+        # A model pricing ~10 ms per 4 KiB random read: the first request
+        # eats the whole vtime margin, the rest wait on the period timer.
+        model = IoCostModelParams(
+            ctrl="user",
+            model="linear",
+            rbps=1 * GIB,
+            rseqiops=100,
+            rrandiops=100,
+            wbps=1 * GIB,
+            wseqiops=100,
+            wrandiops=100,
+        )
+        controller = IoCostController(
+            sim, tree, DEV, model=model, qos=IoCostQosParams(enable=False)
+        )
+        controller.start()
+        admitted = []
+        for _ in range(20):
+            controller.submit(make_request(), admitted.append)
+        assert controller.pending() == 20 - len(admitted) > 0
+        sim.run_until(2_000_000.0)
+        assert controller.pending() == 0
+        assert len(admitted) == 20
