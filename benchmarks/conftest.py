@@ -9,15 +9,42 @@ The pytest-benchmark timer wraps the *whole experiment*, so
 ``--benchmark-only`` runs double as a performance regression check on
 the simulator itself. Every bench uses a single round: the experiments
 are deterministic and long.
+
+Sweeps inside the experiments go through the process-global
+:class:`~repro.exec.executor.SweepExecutor`; two environment variables
+configure it for a bench session:
+
+* ``ISOLBENCH_BENCH_WORKERS`` -- worker processes per sweep (default 1:
+  serial, so the benchmark timer measures the simulator, not the pool);
+* ``ISOLBENCH_BENCH_CACHE`` -- set to ``1`` to reuse/store summaries in
+  the result cache (default off: a bench that reads cached results
+  would time the cache, not the experiment).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_executor():
+    """Install the bench-session executor configured from the env."""
+    from repro.exec import ResultCache, SweepExecutor, default_cache_dir, use_executor
+
+    workers = int(os.environ.get("ISOLBENCH_BENCH_WORKERS", "1"))
+    cache = (
+        ResultCache(default_cache_dir())
+        if os.environ.get("ISOLBENCH_BENCH_CACHE") == "1"
+        else None
+    )
+    with SweepExecutor(max_workers=workers, cache=cache) as executor:
+        with use_executor(executor):
+            yield executor
 
 
 @pytest.fixture

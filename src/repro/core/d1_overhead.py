@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 
 from repro.core.config import Scenario
 from repro.core.knob_catalog import ALL_KNOB_NAMES, overhead_knobs
-from repro.core.runner import ScenarioResult, run_scenario
 from repro.core.scenarios import batch_scaling_specs, lc_scaling_specs
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.exec.summary import ScenarioSummary
 from repro.metrics.latency import percentile
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
@@ -63,12 +64,12 @@ class LcOverheadStudy:
         raise KeyError(f"no point for ({knob}, {n_apps})")
 
 
-def _merged_latencies(result: ScenarioResult) -> list[float]:
+def _merged_latencies(summary: ScenarioSummary) -> list[float]:
     samples: list[float] = []
-    for app_name in result.collector.app_names():
+    for app_name in summary.app_names():
         samples.extend(
-            result.collector.window_latencies(
-                app_name, result.t_start_us, result.t_end_us
+            summary.window_latencies(
+                app_name, summary.t_start_us, summary.t_end_us
             )
         )
     return samples
@@ -83,49 +84,56 @@ def run_lc_overhead(
     seed: int = 42,
     cdf_points: int = 100,
     collect_cdf_for: tuple[int, ...] = (1, 16),
+    executor: SweepExecutor | None = None,
 ) -> LcOverheadStudy:
     """Run Q1: LC-app scaling on one core."""
     ssd = ssd or samsung_980pro_like()
+    executor = resolve_executor(executor)
     study = LcOverheadStudy()
+    scenarios: list[Scenario] = []
+    cells: list[tuple[str, int]] = []
     for n_apps in app_counts:
         specs = lc_scaling_specs(n_apps)
         knobs = overhead_knobs(ssd, [spec.cgroup_path for spec in specs])
         for knob_name in knob_names:
-            scenario = Scenario(
-                name=f"d1-lc-{knob_name}-{n_apps}",
-                knob=knobs[knob_name],
-                apps=specs,
-                ssd_model=ssd,
-                cores=1,
-                duration_s=duration_s,
-                warmup_s=warmup_s,
-                seed=seed,
-            )
-            result = run_scenario(scenario)
-            samples = _merged_latencies(result)
-            if not samples:
-                raise RuntimeError(f"no completions for {scenario.name}")
-            total_ios = sum(
-                result.app_stats(name).ios for name in result.collector.app_names()
-            )
-            study.points.append(
-                LcOverheadPoint(
-                    knob=knob_name,
-                    n_apps=n_apps,
-                    p99_us=percentile(samples, 99.0),
-                    p50_us=percentile(samples, 50.0),
-                    mean_us=sum(samples) / len(samples),
-                    cpu_utilization=result.cpu.utilization,
-                    ctx_switches_per_io=result.cpu.ctx_switches_per_io,
-                    cycles_per_io=result.cpu.cycles_per_io,
-                    total_iops=total_ios / (result.window_us / 1e6),
+            scenarios.append(
+                Scenario(
+                    name=f"d1-lc-{knob_name}-{n_apps}",
+                    knob=knobs[knob_name],
+                    apps=specs,
+                    ssd_model=ssd,
+                    cores=1,
+                    duration_s=duration_s,
+                    warmup_s=warmup_s,
+                    seed=seed,
                 )
             )
-            if n_apps in collect_cdf_for:
-                ordered = sorted(samples)
-                probs = [i / (cdf_points - 1) for i in range(cdf_points)]
-                values = [percentile(ordered, p * 100.0) for p in probs]
-                study.cdfs[(knob_name, n_apps)] = (values, probs)
+            cells.append((knob_name, n_apps))
+    for (knob_name, n_apps), summary in zip(cells, executor.run_strict(scenarios)):
+        samples = _merged_latencies(summary)
+        if not samples:
+            raise RuntimeError(f"no completions for {summary.scenario_name}")
+        total_ios = sum(
+            summary.app_stats(name).ios for name in summary.app_names()
+        )
+        study.points.append(
+            LcOverheadPoint(
+                knob=knob_name,
+                n_apps=n_apps,
+                p99_us=percentile(samples, 99.0),
+                p50_us=percentile(samples, 50.0),
+                mean_us=sum(samples) / len(samples),
+                cpu_utilization=summary.cpu.utilization,
+                ctx_switches_per_io=summary.cpu.ctx_switches_per_io,
+                cycles_per_io=summary.cpu.cycles_per_io,
+                total_iops=total_ios / (summary.window_us / 1e6),
+            )
+        )
+        if n_apps in collect_cdf_for:
+            ordered = sorted(samples)
+            probs = [i / (cdf_points - 1) for i in range(cdf_points)]
+            values = [percentile(ordered, p * 100.0) for p in probs]
+            study.cdfs[(knob_name, n_apps)] = (values, probs)
     return study
 
 
@@ -151,39 +159,46 @@ def run_bandwidth_scaling(
     seed: int = 42,
     device_scale: float = 1.0,
     queue_depth: int = 256,
+    executor: SweepExecutor | None = None,
 ) -> list[BandwidthScalingPoint]:
     """Run Q2: batch-app scaling over multiple SSDs."""
     ssd = ssd or samsung_980pro_like()
-    points: list[BandwidthScalingPoint] = []
+    executor = resolve_executor(executor)
     scaled = ssd.scaled(device_scale)
+    scenarios: list[Scenario] = []
+    cells: list[tuple[str, int, int]] = []
     for n_devices in device_counts:
         for n_apps in app_counts:
             specs = batch_scaling_specs(n_apps, queue_depth=queue_depth)
             knobs = overhead_knobs(scaled, [spec.cgroup_path for spec in specs])
             for knob_name in knob_names:
-                scenario = Scenario(
-                    name=f"d1-bw-{knob_name}-{n_apps}x{n_devices}",
-                    knob=knobs[knob_name],
-                    apps=specs,
-                    ssd_model=ssd,
-                    num_devices=n_devices,
-                    cores=cores,
-                    duration_s=duration_s,
-                    warmup_s=warmup_s,
-                    seed=seed,
-                    device_scale=device_scale,
-                )
-                result = run_scenario(scenario)
-                points.append(
-                    BandwidthScalingPoint(
-                        knob=knob_name,
-                        n_apps=n_apps,
-                        n_devices=n_devices,
-                        bandwidth_gib_s=result.equivalent_bandwidth_gib_s,
-                        cpu_utilization=result.cpu.utilization,
+                scenarios.append(
+                    Scenario(
+                        name=f"d1-bw-{knob_name}-{n_apps}x{n_devices}",
+                        knob=knobs[knob_name],
+                        apps=specs,
+                        ssd_model=ssd,
+                        num_devices=n_devices,
+                        cores=cores,
+                        duration_s=duration_s,
+                        warmup_s=warmup_s,
+                        seed=seed,
+                        device_scale=device_scale,
                     )
                 )
-    return points
+                cells.append((knob_name, n_apps, n_devices))
+    return [
+        BandwidthScalingPoint(
+            knob=knob_name,
+            n_apps=n_apps,
+            n_devices=n_devices,
+            bandwidth_gib_s=summary.equivalent_bandwidth_gib_s,
+            cpu_utilization=summary.cpu.utilization,
+        )
+        for (knob_name, n_apps, n_devices), summary in zip(
+            cells, executor.run_strict(scenarios)
+        )
+    ]
 
 
 def peak_bandwidth(points: list[BandwidthScalingPoint], knob: str, n_devices: int) -> float:

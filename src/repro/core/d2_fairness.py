@@ -17,13 +17,14 @@ from dataclasses import dataclass
 
 from repro.core.config import Scenario
 from repro.core.knob_catalog import ALL_KNOB_NAMES, fairness_knobs
-from repro.core.runner import run_scenario
 from repro.core.scenarios import (
     FairnessGroupSpec,
     fairness_specs,
     linear_weight_fairness_groups,
     uniform_fairness_groups,
 )
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.exec.summary import ScenarioSummary
 from repro.iorequest import KIB, Pattern
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
@@ -41,7 +42,7 @@ class FairnessPoint:
     per_group_mib_s: dict[str, float]
 
 
-def _run_fairness_case(
+def _fairness_scenario(
     experiment: str,
     knob_name: str,
     groups: list[FairnessGroupSpec],
@@ -54,14 +55,14 @@ def _run_fairness_case(
     seed: int,
     device_scale: float,
     queue_depth: int,
-) -> FairnessPoint:
+) -> Scenario:
     scaled_model = ssd.scaled(device_scale)
     knob = fairness_knobs(
         groups, scaled_model, weighted=weighted, latency_scale=device_scale
     )[knob_name]
     specs = fairness_specs(groups, apps_per_group=apps_per_group, queue_depth=queue_depth)
     has_writes = any(group.read_fraction < 1.0 for group in groups)
-    scenario = Scenario(
+    return Scenario(
         name=f"d2-{experiment}-{knob_name}-{len(groups)}g",
         knob=knob,
         apps=specs,
@@ -73,15 +74,23 @@ def _run_fairness_case(
         device_scale=device_scale,
         preconditioned=has_writes,
     )
-    result = run_scenario(scenario)
+
+
+def _fairness_point(
+    summary: ScenarioSummary,
+    experiment: str,
+    knob_name: str,
+    groups: list[FairnessGroupSpec],
+    device_scale: float,
+) -> FairnessPoint:
     weights = {group.path: float(group.weight) for group in groups}
-    group_stats = result.cgroup_stats()
+    group_stats = summary.cgroup_stats()
     return FairnessPoint(
         knob=knob_name,
         experiment=experiment,
         n_groups=len(groups),
-        fairness=result.fairness(weights),
-        aggregate_bandwidth_gib_s=result.equivalent_bandwidth_gib_s,
+        fairness=summary.fairness(weights),
+        aggregate_bandwidth_gib_s=summary.equivalent_bandwidth_gib_s,
         per_group_mib_s={
             path: stats.bandwidth_mib_s * device_scale
             for path, stats in group_stats.items()
@@ -100,20 +109,55 @@ def run_uniform_fairness(
     seed: int = 42,
     device_scale: float = 8.0,
     queue_depth: int = 64,
+    executor: SweepExecutor | None = None,
 ) -> list[FairnessPoint]:
     """Q3: uniform weights/workloads, scaling the number of cgroups."""
     ssd = ssd or samsung_980pro_like()
-    points = []
-    for n_groups in group_counts:
-        groups = uniform_fairness_groups(n_groups)
+    return _run_fairness_family(
+        "uniform",
+        [uniform_fairness_groups(n_groups) for n_groups in group_counts],
+        knob_names,
+        ssd,
+        weighted=False,
+        apps_per_group=apps_per_group,
+        cores=cores,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        device_scale=device_scale,
+        queue_depth=queue_depth,
+        executor=executor,
+    )
+
+
+def _run_fairness_family(
+    experiment: str,
+    group_sets: list[list[FairnessGroupSpec]],
+    knob_names: tuple[str, ...],
+    ssd: SsdModel,
+    weighted: bool,
+    apps_per_group: int,
+    cores: int,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+    device_scale: float,
+    queue_depth: int,
+    executor: SweepExecutor | None,
+) -> list[FairnessPoint]:
+    """Fan one experiment family (all group sets x knobs) as one sweep."""
+    executor = resolve_executor(executor)
+    scenarios: list[Scenario] = []
+    cells: list[tuple[str, list[FairnessGroupSpec]]] = []
+    for groups in group_sets:
         for knob_name in knob_names:
-            points.append(
-                _run_fairness_case(
-                    "uniform",
+            scenarios.append(
+                _fairness_scenario(
+                    experiment,
                     knob_name,
                     groups,
                     ssd,
-                    weighted=False,
+                    weighted=weighted,
                     apps_per_group=apps_per_group,
                     cores=cores,
                     duration_s=duration_s,
@@ -123,7 +167,13 @@ def run_uniform_fairness(
                     queue_depth=queue_depth,
                 )
             )
-    return points
+            cells.append((knob_name, groups))
+    return [
+        _fairness_point(summary, experiment, knob_name, groups, device_scale)
+        for (knob_name, groups), summary in zip(
+            cells, executor.run_strict(scenarios)
+        )
+    ]
 
 
 def run_weighted_fairness(
@@ -137,30 +187,25 @@ def run_weighted_fairness(
     seed: int = 42,
     device_scale: float = 8.0,
     queue_depth: int = 64,
+    executor: SweepExecutor | None = None,
 ) -> list[FairnessPoint]:
     """Q4: linearly increasing weights."""
     ssd = ssd or samsung_980pro_like()
-    points = []
-    for n_groups in group_counts:
-        groups = linear_weight_fairness_groups(n_groups)
-        for knob_name in knob_names:
-            points.append(
-                _run_fairness_case(
-                    "weighted",
-                    knob_name,
-                    groups,
-                    ssd,
-                    weighted=True,
-                    apps_per_group=apps_per_group,
-                    cores=cores,
-                    duration_s=duration_s,
-                    warmup_s=warmup_s,
-                    seed=seed,
-                    device_scale=device_scale,
-                    queue_depth=queue_depth,
-                )
-            )
-    return points
+    return _run_fairness_family(
+        "weighted",
+        [linear_weight_fairness_groups(n_groups) for n_groups in group_counts],
+        knob_names,
+        ssd,
+        weighted=True,
+        apps_per_group=apps_per_group,
+        cores=cores,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        device_scale=device_scale,
+        queue_depth=queue_depth,
+        executor=executor,
+    )
 
 
 def mixed_size_groups() -> list[FairnessGroupSpec]:
@@ -198,6 +243,7 @@ def run_mixed_workload_fairness(
     seed: int = 42,
     device_scale: float = 8.0,
     queue_depth: int = 64,
+    executor: SweepExecutor | None = None,
 ) -> list[FairnessPoint]:
     """Q5: fairness under non-uniform workloads.
 
@@ -211,21 +257,18 @@ def run_mixed_workload_fairness(
     if case not in builders:
         raise ValueError(f"unknown case {case!r}; options: {sorted(builders)}")
     ssd = ssd or samsung_980pro_like()
-    groups = builders[case]()
-    return [
-        _run_fairness_case(
-            case,
-            knob_name,
-            groups,
-            ssd,
-            weighted=False,
-            apps_per_group=apps_per_group,
-            cores=cores,
-            duration_s=duration_s,
-            warmup_s=warmup_s,
-            seed=seed,
-            device_scale=device_scale,
-            queue_depth=queue_depth,
-        )
-        for knob_name in knob_names
-    ]
+    return _run_fairness_family(
+        case,
+        [builders[case]()],
+        knob_names,
+        ssd,
+        weighted=False,
+        apps_per_group=apps_per_group,
+        cores=cores,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        device_scale=device_scale,
+        queue_depth=queue_depth,
+        executor=executor,
+    )

@@ -34,13 +34,14 @@ from repro.core.config import (
     Scenario,
 )
 from repro.core.pareto import TradeoffPoint
-from repro.core.runner import run_scenario
 from repro.core.scenarios import (
     BE_GROUP,
     PRIORITY_GROUP,
     scaled_priority_qd,
     tradeoff_specs,
 )
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.exec.summary import ScenarioSummary
 from repro.iorequest import KIB, OpType, Pattern
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
@@ -48,7 +49,7 @@ from repro.ssd.presets import samsung_980pro_like
 _PRIO_CLASSES = ("realtime", "best-effort", "idle")
 
 
-def _run_config(
+def _config_scenario(
     knob: KnobConfig,
     label: str,
     priority_kind: str,
@@ -60,7 +61,7 @@ def _run_config(
     seed: int,
     device_scale: float,
     be_queue_depth: int,
-) -> TradeoffPoint:
+) -> Scenario:
     specs = tradeoff_specs(
         priority_kind,
         be_variant=be_variant,
@@ -68,7 +69,7 @@ def _run_config(
         priority_queue_depth=scaled_priority_qd(device_scale),
     )
     has_writes = any(spec.read_fraction < 1.0 for spec in specs)
-    scenario = Scenario(
+    return Scenario(
         name=f"d3-{knob.profile_name}-{label}-{priority_kind}-{be_variant}",
         knob=knob,
         apps=specs,
@@ -80,8 +81,17 @@ def _run_config(
         device_scale=device_scale,
         preconditioned=has_writes,
     )
-    result = run_scenario(scenario)
-    prio = result.app_stats("prio")
+
+
+def _config_point(
+    summary: ScenarioSummary,
+    knob: KnobConfig,
+    label: str,
+    priority_kind: str,
+    be_variant: str,
+    device_scale: float,
+) -> TradeoffPoint:
+    prio = summary.app_stats("prio")
     if priority_kind == "batch":
         metric = prio.bandwidth_mib_s * device_scale
         maximize = True
@@ -93,7 +103,7 @@ def _run_config(
         knob=knob.profile_name,
         config_label=label,
         be_variant=be_variant,
-        aggregate_gib_s=result.equivalent_bandwidth_gib_s,
+        aggregate_gib_s=summary.equivalent_bandwidth_gib_s,
         priority_metric=metric,
         metric_maximize=maximize,
     )
@@ -109,11 +119,14 @@ def unprotected_baseline(
     seed: int = 42,
     device_scale: float = 8.0,
     be_queue_depth: int = 256,
+    executor: SweepExecutor | None = None,
 ) -> TradeoffPoint:
     """The no-knob corner: full utilization, no protection."""
     ssd = ssd or samsung_980pro_like()
-    return _run_config(
-        NoneKnob(),
+    executor = resolve_executor(executor)
+    knob = NoneKnob()
+    scenario = _config_scenario(
+        knob,
         "baseline",
         priority_kind,
         be_variant,
@@ -124,6 +137,14 @@ def unprotected_baseline(
         seed,
         device_scale,
         be_queue_depth,
+    )
+    return _config_point(
+        executor.run_one(scenario),
+        knob,
+        "baseline",
+        priority_kind,
+        be_variant,
+        device_scale,
     )
 
 
@@ -140,6 +161,7 @@ def sweep_knob(
     sweep_points: int = 7,
     be_queue_depth: int = 256,
     baseline_p99_us: float | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[TradeoffPoint]:
     """Sweep one knob's configuration space (the paper's Q6-Q9 recipes).
 
@@ -148,36 +170,22 @@ def sweep_knob(
     measured first with a none-knob run).
     """
     ssd = ssd or samsung_980pro_like()
+    executor = resolve_executor(executor)
     scaled = ssd.scaled(device_scale)
 
-    def run(knob: KnobConfig, label: str) -> TradeoffPoint:
-        return _run_config(
-            knob,
-            label,
-            priority_kind,
-            be_variant,
-            ssd,
-            cores,
-            duration_s,
-            warmup_s,
-            seed,
-            device_scale,
-            be_queue_depth,
-        )
-
-    points: list[TradeoffPoint] = []
+    configs: list[tuple[KnobConfig, str]] = []
     if knob_name == "mq-deadline":
         for prio_cls in _PRIO_CLASSES:
             for be_cls in _PRIO_CLASSES:
                 knob = MqDeadlineKnob(
                     classes={PRIORITY_GROUP: prio_cls, BE_GROUP: be_cls}
                 )
-                points.append(run(knob, f"prio={prio_cls},be={be_cls}"))
+                configs.append((knob, f"prio={prio_cls},be={be_cls}"))
     elif knob_name == "bfq":
         weights = _spaced(1, 1000, sweep_points)
         for weight in weights:
             knob = BfqKnob(weights={PRIORITY_GROUP: int(weight), BE_GROUP: 100})
-            points.append(run(knob, f"w={int(weight)}"))
+            configs.append((knob, f"w={int(weight)}"))
     elif knob_name == "io.max":
         saturation = scaled.saturation_bandwidth_bps(
             OpType.READ, Pattern.RANDOM, 4 * KIB
@@ -185,7 +193,7 @@ def sweep_knob(
         for fraction in _spaced(0.05, 1.0, sweep_points):
             cap = saturation * fraction
             knob = IoMaxKnob(limits={BE_GROUP: {"rbps": cap, "wbps": cap}})
-            points.append(run(knob, f"be_cap={fraction:.2f}sat"))
+            configs.append((knob, f"be_cap={fraction:.2f}sat"))
     elif knob_name == "io.latency":
         lo, hi = _latency_target_range(priority_kind, ssd, baseline_p99_us)
         for target in _log_spaced(lo, hi, sweep_points):
@@ -194,7 +202,7 @@ def sweep_knob(
             knob = IoLatencyKnob(
                 targets_us={PRIORITY_GROUP: target * device_scale}
             )
-            points.append(run(knob, f"target={target:.0f}us"))
+            configs.append((knob, f"target={target:.0f}us"))
     elif knob_name == "io.cost":
         lo, hi = _latency_target_range(priority_kind, ssd, baseline_p99_us)
         # Pin vrate with min=max (the "fixed scaling window" recipe): the
@@ -213,7 +221,7 @@ def sweep_knob(
                     vrate_max_pct=vrate,
                 ),
             )
-            points.append(run(knob, f"vrate={vrate:.0f}%"))
+            configs.append((knob, f"vrate={vrate:.0f}%"))
         if priority_kind == "lc":
             for rlat in _log_spaced(lo, hi, sweep_points):
                 knob = IoCostKnob(
@@ -227,10 +235,30 @@ def sweep_knob(
                         vrate_max_pct=100.0,
                     ),
                 )
-                points.append(run(knob, f"rlat={rlat:.0f}us"))
+                configs.append((knob, f"rlat={rlat:.0f}us"))
     else:
         raise ValueError(f"no D3 sweep defined for knob {knob_name!r}")
-    return points
+
+    scenarios = [
+        _config_scenario(
+            knob,
+            label,
+            priority_kind,
+            be_variant,
+            ssd,
+            cores,
+            duration_s,
+            warmup_s,
+            seed,
+            device_scale,
+            be_queue_depth,
+        )
+        for knob, label in configs
+    ]
+    return [
+        _config_point(summary, knob, label, priority_kind, be_variant, device_scale)
+        for (knob, label), summary in zip(configs, executor.run_strict(scenarios))
+    ]
 
 
 def _latency_target_range(

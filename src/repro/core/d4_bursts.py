@@ -24,13 +24,14 @@ from repro.core.config import (
     MqDeadlineKnob,
     Scenario,
 )
-from repro.core.runner import ScenarioResult, run_scenario
 from repro.core.scenarios import (
     BE_GROUP,
     PRIORITY_GROUP,
     burst_specs,
     scaled_priority_qd,
 )
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.exec.summary import ScenarioSummary
 from repro.iorequest import KIB, OpType, Pattern
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
@@ -78,15 +79,15 @@ def burst_knobs(
 
 
 def _bucketized(
-    result: ScenarioResult,
+    summary: ScenarioSummary,
     app_name: str,
     bucket_us: float,
     value: str,
 ) -> tuple[list[float], list[float]]:
     """Per-bucket (start_us, metric) for one app: 'mib_s' or 'mean_lat'."""
-    log_times, log_sizes = result.collector.series_of(app_name)
-    latencies = result.collector.window_latencies(app_name, 0.0, math.inf)
-    end = result.t_end_us
+    log_times, log_sizes = summary.series_of(app_name)
+    latencies = summary.window_latencies(app_name, 0.0, math.inf)
+    end = summary.t_end_us
     n_buckets = max(1, int(end / bucket_us))
     sums = [0.0] * n_buckets
     counts = [0] * n_buckets
@@ -118,6 +119,7 @@ def measure_burst_response(
     bucket_ms: float = 50.0,
     be_queue_depth: int = 256,
     settle_fraction: float = 0.7,
+    executor: SweepExecutor | None = None,
 ) -> BurstResponse:
     """Run one burst scenario and locate the response time.
 
@@ -145,10 +147,10 @@ def measure_burst_response(
         seed=seed,
         device_scale=device_scale,
     )
-    result = run_scenario(scenario)
+    summary = resolve_executor(executor).run_one(scenario)
     bucket_us = bucket_ms * 1e3
     value_kind = "mib_s" if priority_kind == "batch" else "mean_lat"
-    starts, values = _bucketized(result, "prio", bucket_us, value_kind)
+    starts, values = _bucketized(summary, "prio", bucket_us, value_kind)
 
     settle_from = burst_start_us + (duration_s * 1e6 - burst_start_us) * settle_fraction
     steady_samples = [
@@ -181,6 +183,7 @@ def be_bandwidth_settle_time(
     device_scale: float = 16.0,
     bucket_ms: float = 100.0,
     seed: int = 42,
+    executor: SweepExecutor | None = None,
 ) -> float | None:
     """How long until the BE side reaches its final (throttled) level.
 
@@ -201,10 +204,10 @@ def be_bandwidth_settle_time(
         seed=seed,
         device_scale=device_scale,
     )
-    result = run_scenario(scenario)
+    summary = resolve_executor(executor).run_one(scenario)
     bucket_us = bucket_ms * 1e3
     per_app = [
-        _bucketized(result, spec.name, bucket_us, "mib_s")
+        _bucketized(summary, spec.name, bucket_us, "mib_s")
         for spec in specs
         if spec.cgroup_path == BE_GROUP
     ]

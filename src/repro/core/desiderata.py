@@ -165,6 +165,8 @@ class TableOne:
     """The full reproduced table plus the paper's reference cells."""
 
     rows: list[TableOneRow] = field(default_factory=list)
+    # The measured quantities behind each row, for regression goldens.
+    inputs: dict[str, DesiderataInputs] = field(default_factory=dict)
 
     def render(self) -> str:
         header = (

@@ -28,8 +28,9 @@ from repro.core.config import (
     NoneKnob,
     Scenario,
 )
-from repro.core.runner import run_scenario
 from repro.core.scenarios import fig2_timeline_specs
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.exec.summary import ScenarioSummary
 from repro.iorequest import GIB
 from repro.metrics.timeseries import bandwidth_series
 from repro.ssd.model import SsdModel
@@ -117,6 +118,52 @@ class Fig2Panel:
         return sum(window) / len(window) if window else 0.0
 
 
+def _panel_scenario(
+    panel: str,
+    time_scale: float,
+    device_scale: float,
+    ssd: SsdModel,
+    cores: int,
+    seed: int,
+) -> Scenario:
+    specs = fig2_timeline_specs(time_scale=time_scale, rate_scale=device_scale)
+    knob = fig2_knob(panel, ssd.scaled(device_scale), device_scale)
+    return Scenario(
+        name=f"fig2-{panel}",
+        knob=knob,
+        apps=specs,
+        ssd_model=ssd,
+        cores=cores,
+        duration_s=70.0 * time_scale,
+        warmup_s=0.0,  # the timeline itself is the object of study
+        seed=seed,
+        device_scale=device_scale,
+    )
+
+
+def _panel_from_summary(
+    summary: ScenarioSummary,
+    panel: str,
+    time_scale: float,
+    device_scale: float,
+    buckets_per_timeline: int,
+) -> Fig2Panel:
+    duration_s = 70.0 * time_scale
+    bucket_us = duration_s * 1e6 / buckets_per_timeline
+    out = Fig2Panel(panel=panel, bucket_s=bucket_us / 1e6)
+    for app_name in summary.app_names():
+        times, sizes = summary.series_of(app_name)
+        xs, ys = bandwidth_series(
+            times, sizes, 0.0, duration_s * 1e6, bucket_us=bucket_us
+        )
+        # Report device-scale-equivalent bandwidth and timeline seconds
+        # rescaled back to the paper's 70 s axis.
+        xs = [x / time_scale for x in xs]
+        ys = [y * device_scale for y in ys]
+        out.series[app_name] = (xs, ys)
+    return out
+
+
 def run_fig2_panel(
     panel: str,
     time_scale: float = 0.5,
@@ -125,42 +172,37 @@ def run_fig2_panel(
     cores: int = 10,
     seed: int = 42,
     buckets_per_timeline: int = 70,
+    executor: SweepExecutor | None = None,
 ) -> Fig2Panel:
     """Run one panel and return its per-app bandwidth series."""
     ssd = ssd or samsung_980pro_like()
-    specs = fig2_timeline_specs(time_scale=time_scale, rate_scale=device_scale)
-    duration_s = 70.0 * time_scale
-    knob = fig2_knob(panel, ssd.scaled(device_scale), device_scale)
-    scenario = Scenario(
-        name=f"fig2-{panel}",
-        knob=knob,
-        apps=specs,
-        ssd_model=ssd,
-        cores=cores,
-        duration_s=duration_s,
-        warmup_s=0.0,  # the timeline itself is the object of study
-        seed=seed,
-        device_scale=device_scale,
+    scenario = _panel_scenario(panel, time_scale, device_scale, ssd, cores, seed)
+    summary = resolve_executor(executor).run_one(scenario)
+    return _panel_from_summary(
+        summary, panel, time_scale, device_scale, buckets_per_timeline
     )
-    result = run_scenario(scenario)
-    bucket_us = duration_s * 1e6 / buckets_per_timeline
-    out = Fig2Panel(panel=panel, bucket_s=bucket_us / 1e6)
-    for spec in specs:
-        times, sizes = result.collector.series_of(spec.name)
-        xs, ys = bandwidth_series(
-            times, sizes, 0.0, duration_s * 1e6, bucket_us=bucket_us
-        )
-        # Report device-scale-equivalent bandwidth and timeline seconds
-        # rescaled back to the paper's 70 s axis.
-        xs = [x / time_scale for x in xs]
-        ys = [y * device_scale for y in ys]
-        out.series[spec.name] = (xs, ys)
-    return out
 
 
 def run_fig2(
     panels: tuple[str, ...] = FIG2_PANELS,
-    **kwargs,
+    time_scale: float = 0.5,
+    device_scale: float = 8.0,
+    ssd: SsdModel | None = None,
+    cores: int = 10,
+    seed: int = 42,
+    buckets_per_timeline: int = 70,
+    executor: SweepExecutor | None = None,
 ) -> dict[str, Fig2Panel]:
-    """Run a set of Fig. 2 panels."""
-    return {panel: run_fig2_panel(panel, **kwargs) for panel in panels}
+    """Run a set of Fig. 2 panels as one sweep."""
+    ssd = ssd or samsung_980pro_like()
+    executor = resolve_executor(executor)
+    scenarios = [
+        _panel_scenario(panel, time_scale, device_scale, ssd, cores, seed)
+        for panel in panels
+    ]
+    return {
+        panel: _panel_from_summary(
+            summary, panel, time_scale, device_scale, buckets_per_timeline
+        )
+        for panel, summary in zip(panels, executor.run_strict(scenarios))
+    }

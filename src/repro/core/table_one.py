@@ -24,6 +24,7 @@ from repro.core.desiderata import (
     score_all,
 )
 from repro.core.pareto import distinct_clusters, front_span
+from repro.exec.executor import SweepExecutor, resolve_executor
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
 
@@ -59,10 +60,28 @@ class TableOneSettings:
             self.ssd = samsung_980pro_like()
 
 
-def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
+def quick_settings() -> TableOneSettings:
+    """The ``table1 --quick`` effort level (shared by CLI and goldens)."""
+    return TableOneSettings(
+        duration_s=0.25,
+        warmup_s=0.08,
+        fairness_duration_s=0.4,
+        iolatency_duration_s=7.0,
+        burst_duration_s=6.0,
+        device_scale=12.0,
+        burst_device_scale=20.0,
+        sweep_points=4,
+    )
+
+
+def evaluate_table_one(
+    settings: TableOneSettings | None = None,
+    executor: SweepExecutor | None = None,
+) -> TableOne:
     """Run the reduced D1-D4 suite and score Table I."""
     settings = settings or TableOneSettings()
     ssd = settings.ssd
+    executor = resolve_executor(executor)
 
     # ---- D1 -----------------------------------------------------------
     lc = run_lc_overhead(
@@ -72,6 +91,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
         warmup_s=settings.warmup_s,
         seed=settings.seed,
         collect_cdf_for=(),
+        executor=executor,
     )
     bw = run_bandwidth_scaling(
         app_counts=(17,),
@@ -81,6 +101,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
         warmup_s=settings.warmup_s,
         seed=settings.seed,
         device_scale=settings.device_scale,
+        executor=executor,
     )
     none_p99_1 = lc.p99("none", 1)
     none_p99_16 = lc.p99("none", 16)
@@ -98,6 +119,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             warmup_s=settings.warmup_s,
             seed=settings.seed,
             device_scale=settings.device_scale,
+            executor=executor,
         )
     )
     weighted2 = fairness_map(
@@ -108,6 +130,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             warmup_s=settings.iolatency_duration_s * 0.5,
             seed=settings.seed,
             device_scale=settings.device_scale,
+            executor=executor,
         )
     )
     weighted16 = fairness_map(
@@ -118,6 +141,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             warmup_s=settings.warmup_s,
             seed=settings.seed,
             device_scale=settings.device_scale,
+            executor=executor,
         )
     )
     mixed_sizes = fairness_map(
@@ -128,6 +152,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             warmup_s=settings.warmup_s,
             seed=settings.seed,
             device_scale=settings.device_scale,
+            executor=executor,
         )
     )
 
@@ -139,6 +164,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
         warmup_s=settings.warmup_s,
         seed=settings.seed,
         device_scale=settings.device_scale,
+        executor=executor,
     )
     front_stats: dict[str, tuple[int, float, bool]] = {}
     for knob_name in CONTROL_KNOBS:
@@ -157,6 +183,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             seed=settings.seed,
             device_scale=settings.device_scale,
             sweep_points=settings.sweep_points,
+            executor=executor,
         )
         # Clusters are counted over ALL swept configurations (the paper
         # plots every point, Fig. 7): they measure how many distinct
@@ -185,6 +212,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
                 # variants (e.g. write costs cap the device well below
                 # vrate=100%); 4 points keep the cluster count meaningful.
                 sweep_points=max(4, settings.sweep_points - 1),
+                executor=executor,
             )
             hard_clusters = distinct_clusters(
                 hard,
@@ -214,6 +242,7 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             ssd=ssd,
             seed=settings.seed,
             device_scale=settings.burst_device_scale,
+            executor=executor,
         )
         burst_ms[knob_name] = response.response_ms
 
@@ -238,4 +267,5 @@ def evaluate_table_one(settings: TableOneSettings | None = None) -> TableOne:
             burst_response_ms=burst_ms[knob_name],
         )
         table.rows.append(score_all(inputs))
+        table.inputs[knob_name] = inputs
     return table

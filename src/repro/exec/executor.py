@@ -1,0 +1,328 @@
+"""Parallel, cached execution of scenario sweeps.
+
+:class:`SweepExecutor` is the engine room of every paper artifact: the
+Table I pipeline and the figure modules build lists of independent
+:class:`~repro.core.config.Scenario` objects and hand them to
+:meth:`SweepExecutor.run`, which
+
+* consults the content-addressed :class:`~repro.exec.cache.ResultCache`
+  (when attached) and only executes cache misses;
+* fans misses over a ``ProcessPoolExecutor`` (``max_workers`` defaults
+  to ``os.cpu_count() - 1``; ``max_workers=1`` falls back to plain
+  in-process execution -- the escape hatch for debugging and for
+  pickling-hostile ad-hoc scenarios);
+* returns results in **submission order** regardless of completion
+  order;
+* captures a failing scenario as a structured :class:`SweepError`
+  (exception repr + full worker traceback text) without killing the
+  rest of the sweep;
+* reports ``k/n done, m cached, events/sec aggregate`` progress after
+  every completion through an optional callback.
+
+Worker processes are started with the ``spawn`` method: children import
+the package fresh, so the cross-process determinism contract ("a worker
+produces the bit-identical summary an in-process run does") is tested
+against the strictest possible process model, not fork's copied memory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.config import Scenario
+from repro.exec.cache import ResultCache
+from repro.exec.cachekey import scenario_key
+from repro.exec.summary import ScenarioSummary, run_scenario_summary
+
+
+@dataclass(frozen=True)
+class SweepError:
+    """A scenario that raised, reported instead of propagated."""
+
+    scenario_name: str
+    error: str
+    traceback_text: str
+
+    def __str__(self) -> str:
+        return f"scenario {self.scenario_name!r} failed: {self.error}"
+
+
+class SweepFailure(RuntimeError):
+    """Raised by :meth:`SweepExecutor.run_strict` on any SweepError."""
+
+    def __init__(self, error: SweepError):
+        super().__init__(f"{error}\n{error.traceback_text}")
+        self.error = error
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One ``k/n`` progress tick of a running sweep."""
+
+    done: int
+    total: int
+    cached: int
+    failed: int
+    events_processed: int
+    elapsed_seconds: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulator event throughput of the executed runs."""
+        return (
+            self.events_processed / self.elapsed_seconds
+            if self.elapsed_seconds > 0
+            else 0.0
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.done}/{self.total} done, {self.cached} cached, "
+            f"{self.events_per_sec:,.0f} events/sec aggregate"
+        )
+
+
+@dataclass
+class ExecutorStats:
+    """Cumulative counters over an executor's lifetime."""
+
+    sweeps: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.sweeps} sweep(s): {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed"
+        )
+
+
+def _run_in_worker(scenario: Scenario):
+    """Top-level worker entry point (must be picklable under spawn).
+
+    Exceptions are caught *inside* the worker so their traceback text --
+    which would otherwise die with the child process -- survives the
+    trip back to the parent.
+    """
+    try:
+        return ("ok", run_scenario_summary(scenario))
+    except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+        return ("err", repr(exc), traceback.format_exc())
+
+
+def _default_worker_count() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class SweepExecutor:
+    """Runs scenario lists in parallel with content-addressed caching."""
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
+    ):
+        self.max_workers = max_workers if max_workers is not None else _default_worker_count()
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.cache = cache
+        self.progress = progress
+        self.stats = ExecutorStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, scenarios: Sequence[Scenario]
+    ) -> list[Union[ScenarioSummary, SweepError]]:
+        """Run a sweep; results come back in submission order.
+
+        A failed scenario yields a :class:`SweepError` in its slot; the
+        other scenarios are unaffected. Scenarios with tracing enabled
+        bypass the cache (their :class:`~repro.obs.export.Trace`
+        artifact lives on the Host and cannot be replayed from a cached
+        summary).
+        """
+        total = len(scenarios)
+        results: list[Union[ScenarioSummary, SweepError, None]] = [None] * total
+        started = time.perf_counter()
+        cached = failed = done = 0
+        events = 0
+
+        def emit() -> None:
+            if self.progress is not None:
+                self.progress(
+                    SweepProgress(
+                        done=done,
+                        total=total,
+                        cached=cached,
+                        failed=failed,
+                        events_processed=events,
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
+                )
+
+        # Phase 1: cache lookups.
+        keys: list[str | None] = [None] * total
+        to_run: list[int] = []
+        for index, scenario in enumerate(scenarios):
+            if self.cache is not None and scenario.trace is None:
+                key = scenario_key(scenario)
+                keys[index] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    cached += 1
+                    done += 1
+                    emit()
+                    continue
+            to_run.append(index)
+
+        # Phase 2: execute the misses.
+        def record(index: int, payload) -> None:
+            nonlocal done, failed, events
+            if payload[0] == "ok":
+                summary = payload[1]
+                results[index] = summary
+                events += summary.events_processed
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], summary)
+            else:
+                _, error, tb_text = payload
+                results[index] = SweepError(
+                    scenario_name=scenarios[index].name,
+                    error=error,
+                    traceback_text=tb_text,
+                )
+                failed += 1
+            done += 1
+            emit()
+
+        if self.max_workers == 1:
+            for index in to_run:
+                record(index, _run_in_worker(scenarios[index]))
+        elif to_run:
+            pool = self._ensure_pool()
+            pending = {
+                pool.submit(_run_in_worker, scenarios[index]): index
+                for index in to_run
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        # Pool-level failure (e.g. the scenario did not
+                        # pickle, or the worker died): same structured
+                        # reporting as an in-scenario exception.
+                        payload = (
+                            "err",
+                            repr(exc),
+                            "".join(
+                                traceback.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )
+                            ),
+                        )
+                    else:
+                        payload = future.result()
+                    record(index, payload)
+
+        self.stats.sweeps += 1
+        self.stats.cached += cached
+        self.stats.failed += failed
+        self.stats.executed += len(to_run) - failed
+        return results  # type: ignore[return-value]
+
+    def run_strict(self, scenarios: Sequence[Scenario]) -> list[ScenarioSummary]:
+        """Run a sweep; raise :class:`SweepFailure` on the first error.
+
+        The semantics the figure/table modules want: any failed scenario
+        is a bug in the experiment definition, not a partial result.
+        """
+        results = self.run(scenarios)
+        for item in results:
+            if isinstance(item, SweepError):
+                raise SweepFailure(item)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, scenario: Scenario) -> ScenarioSummary:
+        """Single-scenario convenience wrapper around :meth:`run_strict`."""
+        return self.run_strict([scenario])[0]
+
+
+# ----------------------------------------------------------------------
+# Process-wide default executor
+# ----------------------------------------------------------------------
+# The figure/table entry points accept an ``executor=`` keyword but
+# default to this process-global instance so existing call sites (tests,
+# examples, benches) keep working unchanged. The built-in default is the
+# serial, uncached path -- byte-for-byte the old behaviour; the CLI and
+# the benchmark conftest install parallel/cached executors.
+_default_executor: SweepExecutor | None = None
+
+
+def default_executor() -> SweepExecutor:
+    """The process-global executor (serial + uncached unless installed)."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SweepExecutor(max_workers=1, cache=None)
+    return _default_executor
+
+
+def set_default_executor(executor: SweepExecutor | None) -> SweepExecutor | None:
+    """Install (or with None: reset) the process-global executor."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous
+
+
+@contextmanager
+def use_executor(executor: SweepExecutor):
+    """Scoped :func:`set_default_executor` (used by tests and benches)."""
+    previous = set_default_executor(executor)
+    try:
+        yield executor
+    finally:
+        set_default_executor(previous)
+
+
+def resolve_executor(executor: SweepExecutor | None) -> SweepExecutor:
+    """``executor`` if given, else the process-global default."""
+    return executor if executor is not None else default_executor()

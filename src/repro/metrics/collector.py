@@ -142,6 +142,17 @@ class MetricsCollector:
         log = self._logs[app_name]
         return log.times, log.sizes
 
+    def full_log_of(
+        self, app_name: str
+    ) -> tuple[list[float], list[float], list[int], list[int]]:
+        """Raw (times, latencies, sizes, ops) completion log of one app.
+
+        The export surface for :mod:`repro.exec.summary`: everything the
+        collector recorded, in completion order.
+        """
+        log = self._logs[app_name]
+        return log.times, log.latencies, log.sizes, log.ops
+
     def lifetime_bytes_of_cgroup(self, cgroup_path: str) -> int:
         """Total bytes completed by a cgroup's apps since the start.
 

@@ -6,8 +6,12 @@ Subcommands mirror the benchmark suite::
     isol-bench coef-gen [flash|optane]       # io.cost model generation
     isol-bench run --knob io.cost ...        # one ad-hoc scenario
     isol-bench trace --knob io.cost --out t.json   # traced run -> timeline
-    isol-bench table1 [--quick]              # the paper's Table I
+    isol-bench table1 [--quick] [--workers N] [--no-cache]  # Table I
+    isol-bench cache stats|path|clear        # result-cache maintenance
 
+``table1`` fans its scenario sweeps over worker processes and caches
+summaries content-addressed under ``.isolbench-cache/`` (see
+:mod:`repro.exec`); a re-run with unchanged scenarios executes nothing.
 All output is plain text; heavy lifting lives in :mod:`repro.core`.
 """
 
@@ -140,28 +144,88 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.core.table_one import TableOneSettings, evaluate_table_one
+def _progress_printer(stream):
+    """Per-sweep ``k/n done, m cached, events/sec`` lines on one tty row."""
 
-    if args.quick:
-        settings = TableOneSettings(
-            duration_s=0.25,
-            warmup_s=0.08,
-            fairness_duration_s=0.4,
-            iolatency_duration_s=7.0,
-            burst_duration_s=6.0,
-            device_scale=12.0,
-            burst_device_scale=20.0,
-            sweep_points=4,
-        )
+    def emit(progress) -> None:
+        end = "\n" if progress.done == progress.total else "\r"
+        print(f"  {progress}", end=end, file=stream, flush=True)
+
+    return emit
+
+
+def _build_executor(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.exec import ResultCache, SweepExecutor, default_cache_dir
+
+    if args.no_cache:
+        cache = None
     else:
-        settings = TableOneSettings()
-    table = evaluate_table_one(settings)
+        root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        cache = ResultCache(root)
+    progress = None if args.quiet else _progress_printer(sys.stderr)
+    return SweepExecutor(
+        max_workers=args.workers, cache=cache, progress=progress
+    )
+
+
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per sweep (default: cpu_count - 1; 1 = serial)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always execute; do not read or write the result cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $ISOLBENCH_CACHE_DIR or .isolbench-cache/)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-sweep progress lines"
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core.table_one import (
+        TableOneSettings,
+        evaluate_table_one,
+        quick_settings,
+    )
+
+    settings = quick_settings() if args.quick else TableOneSettings()
+    with _build_executor(args) as executor:
+        table = evaluate_table_one(settings, executor=executor)
+        stats = executor.stats
+        cache_line = (
+            f", cache: {executor.cache.stats}" if executor.cache is not None else ""
+        )
     print(table.render())
     matches = table.matches_paper()
     total = sum(matches.values())
     print(f"\ncells matching the paper: {total}/{4 * len(matches)}")
+    # Machine-checkable summary (CI asserts executed=0 on a warm cache).
+    print(
+        f"sweep stats: executed={stats.executed} cached={stats.cached} "
+        f"failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
+    )
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec.cache import main as cache_main
+
+    argv = []
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    argv.append(args.action)
+    return cache_main(argv)
 
 
 def _add_scenario_args(p: argparse.ArgumentParser, default_lc_apps: int = 0) -> None:
@@ -223,7 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="reproduce the paper's Table I")
     p.add_argument("--quick", action="store_true")
+    _add_executor_args(p)
     p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=("stats", "path", "clear"))
+    p.add_argument("--cache-dir", default=None)
+    p.set_defaults(fn=_cmd_cache)
 
     return parser
 

@@ -1,0 +1,26 @@
+"""Session-wide test configuration.
+
+``ISOLBENCH_TEST_WORKERS=N`` (N > 1) installs an N-worker process-global
+:class:`~repro.exec.executor.SweepExecutor` for the whole session, so
+every d1–d4/fig/table sweep in the suite runs through spawned workers —
+CI uses this to exercise the parallel path against the exact same
+assertions the serial path passes. Unset (the default) the suite runs
+serially and uncached, byte-for-byte the pre-executor behavior.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_sweep_executor():
+    workers = int(os.environ.get("ISOLBENCH_TEST_WORKERS", "1"))
+    if workers <= 1:
+        yield None
+        return
+    from repro.exec import SweepExecutor, use_executor
+
+    with SweepExecutor(max_workers=workers) as executor:
+        with use_executor(executor):
+            yield executor

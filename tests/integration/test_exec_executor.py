@@ -1,0 +1,187 @@
+"""SweepExecutor integration: parallelism, caching, error capture.
+
+The headline guarantees:
+
+* a 2-worker spawned sweep returns summaries bit-identical to a serial
+  in-process sweep of the same seeded scenarios (cross-process
+  determinism), in submission order;
+* a raising scenario becomes a SweepError carrying the worker's
+  traceback text while the rest of the sweep completes;
+* a poisoned cache entry is a miss (recompute), never a crash;
+* a warm cache executes zero scenarios.
+"""
+
+import gzip
+import pickle
+
+import pytest
+
+from repro.core.config import MqDeadlineKnob, NoneKnob, Scenario
+from repro.exec import (
+    ResultCache,
+    SweepError,
+    SweepExecutor,
+    SweepFailure,
+    run_scenario_summary,
+    scenario_key,
+)
+from repro.obs import TraceConfig
+from repro.ssd.presets import samsung_980pro_like
+from repro.workloads.apps import batch_app
+
+
+def tiny_scenario(name: str, seed: int = 42, trace=None) -> Scenario:
+    return Scenario(
+        name=name,
+        knob=NoneKnob(),
+        apps=[batch_app("batch0", "/tenants/a"), batch_app("batch1", "/tenants/b")],
+        ssd_model=samsung_980pro_like(),
+        duration_s=0.05,
+        warmup_s=0.01,
+        seed=seed,
+        device_scale=8.0,
+        trace=trace,
+    )
+
+
+def raising_scenario(name: str = "boom") -> Scenario:
+    # An unknown io.prio.class fails knob validation inside the run --
+    # a deterministic, picklable failure for both execution paths.
+    return Scenario(
+        name=name,
+        knob=MqDeadlineKnob(classes={"/tenants/a": "bogus-class"}),
+        apps=[batch_app("batch0", "/tenants/a")],
+        ssd_model=samsung_980pro_like(),
+        duration_s=0.05,
+        warmup_s=0.01,
+    )
+
+
+class TestDeterminismAcrossProcesses:
+    def test_two_worker_sweep_bit_identical_to_serial(self):
+        scenarios = [tiny_scenario(f"det-{i}", seed=100 + i) for i in range(4)]
+        serial = SweepExecutor(max_workers=1).run_strict(scenarios)
+        with SweepExecutor(max_workers=2) as pool:
+            parallel = pool.run_strict(scenarios)
+        assert len(parallel) == len(serial)
+        for ours, theirs in zip(serial, parallel):
+            assert ours.content_equal(theirs)
+
+    def test_spawned_worker_matches_in_process_run(self):
+        scenario = tiny_scenario("det-single", seed=7)
+        in_process = run_scenario_summary(scenario)
+        with SweepExecutor(max_workers=2) as pool:
+            spawned = pool.run_one(scenario)
+        assert spawned.content_equal(in_process)
+
+    def test_submission_order_preserved(self):
+        scenarios = [tiny_scenario(f"order-{i}", seed=i) for i in range(5)]
+        with SweepExecutor(max_workers=2) as pool:
+            results = pool.run_strict(scenarios)
+        assert [r.scenario_name for r in results] == [s.name for s in scenarios]
+
+
+class TestErrorCapture:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_is_structured_and_isolated(self, workers):
+        scenarios = [
+            tiny_scenario("ok-before"),
+            raising_scenario(),
+            tiny_scenario("ok-after", seed=43),
+        ]
+        with SweepExecutor(max_workers=workers) as pool:
+            results = pool.run(scenarios)
+        assert results[0].scenario_name == "ok-before"
+        assert results[2].scenario_name == "ok-after"
+        error = results[1]
+        assert isinstance(error, SweepError)
+        assert error.scenario_name == "boom"
+        assert "InvalidKnobValue" in error.error
+        # The worker's traceback survives the process boundary.
+        assert "Traceback" in error.traceback_text
+        assert pool.stats.failed == 1
+        assert pool.stats.executed == 2
+
+    def test_run_strict_raises_sweep_failure(self):
+        with SweepExecutor(max_workers=1) as pool:
+            with pytest.raises(SweepFailure) as excinfo:
+                pool.run_strict([raising_scenario()])
+        assert excinfo.value.error.scenario_name == "boom"
+        assert "InvalidKnobValue" in str(excinfo.value)
+
+
+class TestCaching:
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        scenarios = [tiny_scenario(f"warm-{i}", seed=i) for i in range(3)]
+        cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=cache) as cold:
+            first = cold.run_strict(scenarios)
+            assert cold.stats.executed == 3
+            assert cold.stats.cached == 0
+        warm_cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=warm_cache) as warm:
+            second = warm.run_strict(scenarios)
+            assert warm.stats.executed == 0
+            assert warm.stats.cached == 3
+        for a, b in zip(first, second):
+            assert a.content_equal(b)
+
+    def test_poisoned_entry_is_a_miss_not_a_crash(self, tmp_path):
+        scenario = tiny_scenario("poisoned")
+        cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=cache) as pool:
+            original = pool.run_one(scenario)
+        key = scenario_key(scenario)
+        path = cache.path_for(key)
+        assert path.is_file()
+        path.write_bytes(b"this is not a gzip pickle")
+        fresh = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=fresh) as pool:
+            recomputed = pool.run_one(scenario)
+            assert pool.stats.executed == 1  # miss -> re-run
+        assert fresh.stats.corrupt == 1
+        assert recomputed.content_equal(original)
+        # The corrupt file was dropped and replaced by the re-run's store.
+        assert fresh.stats.stores == 1
+
+    def test_wrong_payload_type_is_rejected(self, tmp_path):
+        scenario = tiny_scenario("typed")
+        cache = ResultCache(tmp_path / "cache")
+        key = scenario_key(scenario)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        with gzip.open(path, "wb") as fh:
+            pickle.dump({"schema_version": 1, "key": key, "summary": "nope"}, fh)
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_traced_scenarios_bypass_cache(self, tmp_path):
+        scenario = tiny_scenario("traced", trace=TraceConfig(sample_period_us=0.0))
+        cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=cache) as pool:
+            pool.run_one(scenario)
+            pool.run_one(scenario)
+            assert pool.stats.executed == 2
+            assert pool.stats.cached == 0
+        assert cache.entries() == []
+
+
+class TestProgress:
+    def test_progress_ticks_and_cache_counts(self, tmp_path):
+        scenarios = [tiny_scenario(f"prog-{i}", seed=i) for i in range(3)]
+        cache = ResultCache(tmp_path / "cache")
+        ticks = []
+        with SweepExecutor(
+            max_workers=1, cache=cache, progress=ticks.append
+        ) as pool:
+            pool.run_strict(scenarios)
+            first_run = list(ticks)
+            ticks.clear()
+            pool.run_strict(scenarios)
+        assert [t.done for t in first_run] == [1, 2, 3]
+        assert all(t.total == 3 for t in first_run)
+        assert first_run[-1].cached == 0
+        assert ticks[-1].cached == 3
+        # The rendered line has the documented shape.
+        assert "3/3 done, 3 cached," in str(ticks[-1])
+        assert "events/sec aggregate" in str(ticks[-1])

@@ -1,0 +1,171 @@
+"""Golden regression for the Table I pipeline, plus the warm-cache proof.
+
+Two effort levels share one machinery:
+
+* ``mini`` runs in tier-1 on every test invocation (~20 s): a heavily
+  reduced :func:`evaluate_table_one` whose verdict symbols and measured
+  inputs are pinned in ``tests/data/table1_mini_golden.json``. The same
+  module-scoped run doubles as the warm-cache proof: re-evaluating the
+  full pipeline against the populated cache must execute **zero**
+  scenarios and reproduce the table bit-identically.
+* ``quick`` is the real ``isol-bench table1 --quick`` configuration
+  (minutes); its golden ``tests/data/table1_quick_golden.json`` is
+  compared only when ``ISOLBENCH_GOLDEN=1`` (CI runs it; local tier-1
+  skips it).
+
+Verdict symbols are compared exactly; measured numbers with tolerances
+(the simulator is deterministic, so drift means a semantics change --
+the tolerances only absorb deliberate small re-calibrations; anything
+larger should be acknowledged by regenerating the golden).
+
+Regenerate after an intentional simulator change::
+
+    PYTHONPATH=src python -m tests.integration.test_table1_golden mini
+    PYTHONPATH=src python -m tests.integration.test_table1_golden quick
+"""
+
+import json
+import math
+import os
+import pathlib
+
+import pytest
+
+from repro.core.table_one import TableOneSettings, evaluate_table_one, quick_settings
+from repro.exec import ResultCache, SweepExecutor
+
+DATA_DIR = pathlib.Path(__file__).parent.parent / "data"
+MINI_GOLDEN = DATA_DIR / "table1_mini_golden.json"
+QUICK_GOLDEN = DATA_DIR / "table1_quick_golden.json"
+
+#: Absolute tolerance for scores in [0, 1] (fairness, ratios, spans).
+UNIT_ATOL = 0.06
+#: Relative tolerance for dimensionful numbers (latency overheads, ms).
+REL_TOL = 0.5
+
+
+def mini_settings() -> TableOneSettings:
+    """A tier-1-sized pipeline run: every stage, minimal durations."""
+    return TableOneSettings(
+        duration_s=0.06,
+        warmup_s=0.02,
+        fairness_duration_s=0.08,
+        iolatency_duration_s=0.5,
+        burst_duration_s=2.5,
+        device_scale=16.0,
+        burst_device_scale=24.0,
+        sweep_points=2,
+    )
+
+
+def golden_doc(table) -> dict:
+    """The JSON shape both goldens use: verdicts + headline numbers."""
+    return {
+        "verdicts": {
+            row.knob: [cell.symbol for cell in row.cells()] for row in table.rows
+        },
+        "matches_paper": table.matches_paper(),
+        "inputs": {
+            knob: {
+                "peak_bandwidth_ratio_vs_none": inp.peak_bandwidth_ratio_vs_none,
+                "p99_overhead_1app": inp.p99_overhead_1app,
+                "p99_overhead_saturated": inp.p99_overhead_saturated,
+                "fairness_uniform_16": inp.fairness_uniform_16,
+                "fairness_weighted_2": inp.fairness_weighted_2,
+                "fairness_weighted_16": inp.fairness_weighted_16,
+                "fairness_mixed_sizes": inp.fairness_mixed_sizes,
+                "front_clusters_rand4k": inp.front_clusters_rand4k,
+                "front_utilization_span_fraction": inp.front_utilization_span_fraction,
+                "hard_variants_effective": inp.hard_variants_effective,
+                "burst_response_ms": inp.burst_response_ms,
+            }
+            for knob, inp in sorted(table.inputs.items())
+        },
+    }
+
+
+def assert_matches_golden(table, golden_path: pathlib.Path) -> None:
+    golden = json.loads(golden_path.read_text())
+    doc = golden_doc(table)
+    assert doc["verdicts"] == golden["verdicts"]
+    assert doc["matches_paper"] == golden["matches_paper"]
+    for knob, expected in golden["inputs"].items():
+        measured = doc["inputs"][knob]
+        for field, want in expected.items():
+            got = measured[field]
+            context = f"{knob}.{field}: measured {got!r}, golden {want!r}"
+            if isinstance(want, bool) or want is None or isinstance(want, int):
+                assert got == want, context
+            elif field.startswith("fairness") or field in (
+                "peak_bandwidth_ratio_vs_none",
+                "front_utilization_span_fraction",
+            ):
+                assert got == pytest.approx(want, abs=UNIT_ATOL), context
+            else:
+                assert got == pytest.approx(
+                    want, rel=REL_TOL, abs=UNIT_ATOL
+                ), context
+
+
+@pytest.fixture(scope="module")
+def mini_run(tmp_path_factory):
+    """One cold mini pipeline run against a fresh cache."""
+    cache_dir = tmp_path_factory.mktemp("table1-cache")
+    with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as executor:
+        table = evaluate_table_one(mini_settings(), executor=executor)
+        stats = executor.stats
+    assert stats.executed > 0 and stats.cached == 0
+    return table, cache_dir, stats
+
+
+class TestMiniPipeline:
+    def test_matches_golden(self, mini_run):
+        table, _, _ = mini_run
+        assert_matches_golden(table, MINI_GOLDEN)
+
+    def test_warm_cache_executes_zero_scenarios(self, mini_run):
+        """The ISSUE's acceptance bar: a warm re-run does no work."""
+        table, cache_dir, cold_stats = mini_run
+        with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as warm:
+            rerun = evaluate_table_one(mini_settings(), executor=warm)
+            assert warm.stats.executed == 0
+            assert warm.stats.failed == 0
+            assert warm.stats.cached == cold_stats.executed
+        assert rerun.render() == table.render()
+        assert golden_doc(rerun) == golden_doc(table)
+
+
+@pytest.mark.skipif(
+    os.environ.get("ISOLBENCH_GOLDEN") != "1",
+    reason="full table1 --quick golden takes minutes; set ISOLBENCH_GOLDEN=1",
+)
+def test_quick_matches_golden(tmp_path):
+    # Honor $ISOLBENCH_CACHE_DIR so CI can reuse the cache its CLI steps
+    # populated (which also proves key stability across processes);
+    # without it, run cold in an isolated directory.
+    from repro.exec import default_cache_dir
+
+    cache_root = (
+        default_cache_dir()
+        if os.environ.get("ISOLBENCH_CACHE_DIR")
+        else tmp_path / "cache"
+    )
+    with SweepExecutor(max_workers=1, cache=ResultCache(cache_root)) as executor:
+        table = evaluate_table_one(quick_settings(), executor=executor)
+    assert_matches_golden(table, QUICK_GOLDEN)
+
+
+def _regenerate(which: str) -> None:
+    settings = {"mini": mini_settings, "quick": quick_settings}[which]()
+    path = {"mini": MINI_GOLDEN, "quick": QUICK_GOLDEN}[which]
+    table = evaluate_table_one(settings)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(golden_doc(table), indent=2, sort_keys=True) + "\n")
+    print(table.render())
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    _regenerate(sys.argv[1] if len(sys.argv) > 1 else "mini")

@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) for the cache-key canonicalizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BfqKnob
+from repro.exec.cachekey import canonical_text, scenario_key
+from tests.unit.test_exec_cachekey import base_scenario
+
+# JSON-ish values of the kinds that appear inside Scenario/knob configs.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalTextProperties:
+    @given(trees)
+    @settings(max_examples=200)
+    def test_deterministic(self, value):
+        assert canonical_text(value) == canonical_text(value)
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_dict_insertion_order_invariant(self, mapping):
+        reversed_insertion = dict(reversed(list(mapping.items())))
+        assert canonical_text(mapping) == canonical_text(reversed_insertion)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_int_and_string_of_int_distinct(self, n):
+        assert canonical_text(n) != canonical_text(str(n))
+
+
+class TestScenarioKeyProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50)
+    def test_equal_scenarios_hash_equal(self, seed, duration, cores):
+        a = base_scenario(seed=seed, duration_s=duration, cores=cores)
+        b = base_scenario(seed=seed, duration_s=duration, cores=cores)
+        assert a is not b
+        assert scenario_key(a) == scenario_key(b)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50)
+    def test_seed_perturbation_changes_key(self, seed):
+        assert scenario_key(base_scenario(seed=seed)) != scenario_key(
+            base_scenario(seed=seed + 1)
+        )
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["/t/a", "/t/b", "/t/c", "/t/d"]),
+            st.integers(min_value=1, max_value=1000),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_knob_weights_reordering_is_identity(self, weights):
+        forward = BfqKnob(weights=dict(weights))
+        backward = BfqKnob(weights=dict(reversed(list(weights.items()))))
+        assert scenario_key(base_scenario(knob=forward)) == scenario_key(
+            base_scenario(knob=backward)
+        )
