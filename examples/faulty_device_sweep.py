@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Which cgroup knob still isolates when the SSD misbehaves?
+
+Part 1 runs the paper's noisy-neighbor shape — a QD=1 latency-critical
+cache beside saturating batch readers — on a healthy device and again
+under the ``transient-error`` fault preset (2% of requests error at the
+device; the host retries with exponential backoff), and shows what the
+fault costs the LC app and what the retry machinery did about it.
+
+Part 2 runs the full D5 robustness matrix at the mini effort level:
+every knob in its protecting configuration, healthy plus three fault
+classes, fanned through the sweep executor, ranked by mean p99
+degradation ratio — the `isol-bench d5 --mini` output, from Python.
+
+Run:  python examples/faulty_device_sweep.py
+
+(The ``__main__`` guard is required: the sweep executor fans scenarios
+over spawn-context worker processes, which re-import this module.)
+"""
+
+from repro import IoCostKnob, Scenario, get_fault_plan
+from repro.core.d5_robustness import evaluate_robustness, mini_settings
+from repro.exec import SweepExecutor, run_scenario_summary
+from repro.workloads import batch_app, lc_app
+
+
+def noisy_neighbor(name: str, faults) -> Scenario:
+    return Scenario(
+        name=name,
+        knob=IoCostKnob(weights={"/tenants/lc": 800, "/tenants/batch": 100}),
+        apps=[
+            lc_app("cache", "/tenants/lc"),
+            batch_app("batch0", "/tenants/batch", queue_depth=32),
+            batch_app("batch1", "/tenants/batch", queue_depth=32),
+        ],
+        duration_s=0.4,
+        warmup_s=0.1,
+        device_scale=8.0,  # slow the simulated device 8x for a quick run
+        faults=faults,     # the plan is dilated 8x along with the device
+    )
+
+
+def compare_healthy_vs_faulted() -> None:
+    healthy = run_scenario_summary(noisy_neighbor("healthy", None))
+    faulted = run_scenario_summary(
+        noisy_neighbor("flaky", get_fault_plan("transient-error"))
+    )
+
+    print("LC app under io.cost protection, healthy vs 2% transient errors:")
+    print(f"  {'':<10} {'p99 us':>10} {'MiB/s':>9}")
+    for label, summary in (("healthy", healthy), ("faulted", faulted)):
+        stats = summary.app_stats("cache")
+        print(
+            f"  {label:<10} {stats.latency.p99_us:>10.0f} "
+            f"{stats.bandwidth_mib_s:>9.1f}"
+        )
+
+    counters = faulted.fault_counters
+    print("\nWhat the host's retry machinery absorbed:")
+    print(f"  device errors injected : {counters['dev0.errors_injected']:.0f}")
+    print(f"  retries (with backoff) : {counters['retries']:.0f}")
+    print(f"  total backoff waited   : {counters['backoff_us'] / 1e3:.1f} ms")
+    print(f"  failures seen by apps  : {counters['failures_delivered']:.0f}")
+
+
+def rank_knobs_under_faults() -> None:
+    print("\nD5 robustness ranking (mini effort; healthy + 3 fault classes):")
+    with SweepExecutor(max_workers=2) as executor:
+        table = evaluate_robustness(mini_settings(), executor=executor)
+        print(table.render())
+        print(f"\nsweep: {executor.stats}")
+    best = table.rank()[0]
+    print(
+        f"most robust knob: {best.knob} "
+        f"(mean p99 degradation {best.mean_p99_ratio:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    compare_healthy_vs_faulted()
+    rank_knobs_under_faults()

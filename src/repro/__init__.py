@@ -32,6 +32,8 @@ from repro.core.config import (
     Scenario,
 )
 from repro.core.runner import ScenarioResult, run_scenario
+from repro.faults.plan import FaultPlan, RetryPolicy
+from repro.faults.presets import get_fault_plan
 from repro.iorequest import GIB, KIB, MIB, IoRequest, OpType, Pattern
 from repro.obs.config import TraceConfig
 
@@ -49,6 +51,9 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "TraceConfig",
+    "FaultPlan",
+    "RetryPolicy",
+    "get_fault_plan",
     "IoRequest",
     "OpType",
     "Pattern",

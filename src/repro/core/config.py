@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.cgroups.hierarchy import CgroupHierarchy
 from repro.cgroups.knobs import IoCostModelParams, IoCostQosParams
+from repro.faults.plan import FaultPlan
 from repro.obs.config import TraceConfig
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
@@ -230,6 +231,14 @@ class Scenario:
     # path. A repro.obs.TraceConfig turns on request-lifecycle spans
     # and/or io.stat-style periodic sampling.
     trace: Optional[TraceConfig] = None
+    # Fault injection: None (the default) wires no fault runtime at all
+    # -- devices and the completion path behave exactly as before. A
+    # repro.faults.FaultPlan installs per-device injectors plus the
+    # host-side retry/timeout coordinator; the plan participates in the
+    # exec cache key like every other field. Time-valued plan fields are
+    # interpreted at device scale 1 and dilated by device_scale when the
+    # host is wired.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

@@ -29,6 +29,8 @@ from repro.core.config import (
 from repro.cpu.accounting import CpuAccounting
 from repro.cpu.cores import CoreSet
 from repro.cpu.model import profile_for_knob
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryCoordinator
 from repro.iocontrol.base import IoScheduler, PassthroughThrottle, ThrottleLayer
 from repro.iocontrol.bfq import BfqScheduler
 from repro.iocontrol.dispatch import DispatchEngine
@@ -109,6 +111,7 @@ class Host:
         self.apps = self._build_apps()
         self.page_caches = self._build_page_caches()
         self.iomax_managers = self._build_iomax_managers()
+        self.injectors, self.coordinator = self._build_faults()
         self.tracer, self.sampler = self._build_observability()
         self.wc_probes = [
             WorkConservationProbe(
@@ -234,6 +237,42 @@ class Host:
             for index in range(self.scenario.num_devices)
         ]
 
+    def _build_faults(self):
+        """Fault runtime per ``scenario.faults`` (([], None) when off).
+
+        Like observability, fault hooks cost nothing when unconfigured:
+        no injector is attached to any device and the completion path
+        never consults a coordinator. With a plan, each device gets its
+        own injector fed by a dedicated ``faults.dev<i>`` RNG stream and
+        the host gets one :class:`RetryCoordinator` on the ``faults.
+        retry`` stream, so fault placement never perturbs workload or
+        device-noise randomness.
+        """
+        plan = self.scenario.faults
+        if plan is None:
+            return [], None
+        plan = plan.scaled(self.scenario.device_scale)
+        injectors = []
+        if plan.device_faults:
+            for i in range(len(self.devices)):
+                injector = FaultInjector(
+                    self.sim,
+                    self.devices[i],
+                    plan,
+                    self.rngs.stream(f"faults.dev{i}"),
+                )
+                self.devices[i].injector = injector
+                injectors.append(injector)
+        coordinator = RetryCoordinator(
+            self.sim,
+            plan.retry,
+            self.rngs.stream("faults.retry"),
+            resubmit=self._enter_block_layer,
+            deliver_failure=self._deliver_failure,
+            on_fault=self._on_fault,
+        )
+        return injectors, coordinator
+
     def _build_observability(self):
         """Tracer + sampler per ``scenario.trace`` (both None when off).
 
@@ -295,6 +334,12 @@ class Host:
                         integral - flash_cursor[i]
                     ) / span
                 flash_cursor[i] = integral
+            if self.coordinator is not None:
+                for key, value in self.coordinator.stats.as_dict().items():
+                    row[f"faults.{key}"] = value
+            for i, injector in enumerate(self.injectors):
+                for key, value in injector.snapshot().items():
+                    row[f"dev{i}.faults.{key}"] = value
             row.update(iostat.advance())
             last_tick[0] = now
             return row
@@ -329,9 +374,26 @@ class Host:
 
     def _route_to_block_layer(self, req: IoRequest) -> None:
         """Entry below the page cache: straight into cgroup throttling."""
-        throttle = self.throttles[req.device_index]
-        engine = self.engines[req.device_index]
-        throttle.submit(req, engine.submit)
+        self._enter_block_layer(req)
+
+    def _enter_block_layer(self, req: IoRequest) -> None:
+        """The single entry into cgroup throttling.
+
+        All three producers converge here: direct app submissions,
+        page-cache writeback, and retry resubmissions from the fault
+        coordinator. When the scenario's retry policy arms a watchdog,
+        the per-attempt timeout starts at this point — covering
+        throttle hold, scheduler queueing and device time, like the
+        kernel's request timeout. Writeback requests are exempt: no app
+        is waiting on them and the cache has its own completion
+        bookkeeping.
+        """
+        coordinator = self.coordinator
+        if coordinator is not None and req.app_name in self.apps:
+            coordinator.watch(req)
+        self.throttles[req.device_index].submit(
+            req, self.engines[req.device_index].submit
+        )
 
     def _after_submit_cpu(self, req: IoRequest) -> None:
         app = self.apps.get(req.app_name)
@@ -343,15 +405,13 @@ class Host:
 
     def _after_submit_cpu_direct(self, req: IoRequest) -> None:
         extra = self.profile.saturated_extra_latency_us
-        throttle = self.throttles[req.device_index]
-        engine = self.engines[req.device_index]
         if extra > 0 and self.core_set.is_saturated():
             # io.cost defers work to per-period timers; under CPU
             # saturation those timers lag, inflating latency (O1).
             delay = extra * (0.5 + self.rngs.stream("iocost.timer").random())
-            self.sim.schedule(delay, lambda: throttle.submit(req, engine.submit))
+            self.sim.schedule(delay, lambda: self._enter_block_layer(req))
         else:
-            throttle.submit(req, engine.submit)
+            self._enter_block_layer(req)
 
     def _on_device_complete(self, req: IoRequest) -> None:
         self.throttles[req.device_index].on_complete(req)
@@ -362,6 +422,12 @@ class Host:
         self.core_set.charge(cost, lambda: self._finish(req))
 
     def _finish(self, req: IoRequest) -> None:
+        coordinator = self.coordinator
+        if coordinator is not None and not coordinator.resolve(req):
+            # Stale (watchdog-abandoned), retried, or delivered as a
+            # failure — the coordinator handled it; nothing reaches the
+            # metrics layer.
+            return
         req.complete_time = self.sim.now
         self.accounting.on_io_complete()
         app = self.apps.get(req.app_name)
@@ -371,6 +437,42 @@ class Host:
             return
         self.collector.on_complete(req)
         app.on_complete(req)
+
+    def _on_fault(self, req: IoRequest) -> None:
+        """Degraded-mode accounting: bump the admitting controller."""
+        self.throttles[req.device_index].on_fault(req)
+
+    def _deliver_failure(self, req: IoRequest) -> None:
+        """Hand an exhausted request back as a failure.
+
+        Failed requests never reach the metrics collector — latency and
+        bandwidth series describe successful I/O only; failures live in
+        ``FaultStats`` / ``ScenarioSummary.fault_counters``. A failed
+        writeback chunk is returned to its page cache as done (data-loss
+        modelling is out of scope) so dirty-page accounting cannot leak.
+        """
+        app = self.apps.get(req.app_name)
+        if app is None:
+            self.page_caches[req.device_index].on_writeback_complete(req)
+            return
+        app.on_complete(req)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def fault_counters(self) -> dict[str, float]:
+        """Lifetime failure accounting (empty when no fault plan is set).
+
+        Host-level counters (retries, timeouts, ...) are unprefixed;
+        per-device injector counters are keyed ``dev<i>.<counter>``.
+        """
+        if self.coordinator is None:
+            return {}
+        counters = self.coordinator.stats.as_dict()
+        for i, injector in enumerate(self.injectors):
+            for key, value in injector.snapshot().items():
+                counters[f"dev{i}.{key}"] = value
+        return counters
 
     # ------------------------------------------------------------------
     # Execution
@@ -383,6 +485,8 @@ class Host:
             probe.start()
         for manager in self.iomax_managers:
             manager.start()
+        for injector in self.injectors:
+            injector.start()
         if self.sampler is not None:
             self.sampler.start()
 

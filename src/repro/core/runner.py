@@ -46,6 +46,16 @@ class ScenarioResult:
         return self.events_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     @property
+    def fault_counters(self) -> dict[str, float]:
+        """Failure accounting under ``Scenario.faults`` (empty when off).
+
+        Host-level retry/timeout/error counters plus per-device injector
+        counters (``dev<i>.*``); carried into ``ScenarioSummary`` so
+        cached and cross-process results keep the same accounting.
+        """
+        return self.host.fault_counters()
+
+    @property
     def trace(self) -> Trace | None:
         """The observability artifact, or None if tracing was off.
 
@@ -65,6 +75,11 @@ class ScenarioResult:
                 "seed": self.scenario.seed,
                 "duration_us": self.scenario.duration_us,
                 "warmup_us": self.scenario.warmup_us,
+                "faults": (
+                    self.scenario.faults.label
+                    if self.scenario.faults is not None
+                    else None
+                ),
             },
             spans=tracer.spans if tracer is not None else [],
             samples=sampler.samples if sampler is not None else [],

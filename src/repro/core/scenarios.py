@@ -201,6 +201,23 @@ def burst_specs(
     )
 
 
+def robustness_specs(
+    be_queue_depth: int = 64, n_be_apps: int = 4
+) -> list[JobSpec]:
+    """The D5 shape: one LC app + saturating BE readers, healthy or not.
+
+    Identical to the §VI-B trade-off shape with an LC priority app; D5
+    re-runs it under each :mod:`repro.faults` preset to ask which knob
+    still protects the LC app when the device itself misbehaves.
+    """
+    return tradeoff_specs(
+        "lc",
+        be_variant="rand-4k",
+        n_be_apps=n_be_apps,
+        be_queue_depth=be_queue_depth,
+    )
+
+
 def scaled_priority_qd(device_scale: float, base_qd: int = 32) -> int:
     """Priority batch-app queue depth for a scaled device.
 

@@ -71,6 +71,7 @@ class ResultCache:
         self.root = Path(self.root)
 
     def path_for(self, key: str) -> Path:
+        """Entry location: ``<root>/<key[:2]>/<key>.pkl.gz``."""
         return self.root / key[:2] / f"{key}.pkl.gz"
 
     def get(self, key: str) -> ScenarioSummary | None:
@@ -126,11 +127,13 @@ class ResultCache:
     # Maintenance
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:
+        """All entry files currently on disk, sorted."""
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("??/*.pkl.gz"))
 
     def size_bytes(self) -> int:
+        """Total on-disk size of the cache in bytes."""
         return sum(path.stat().st_size for path in self.entries())
 
     def clear(self) -> int:

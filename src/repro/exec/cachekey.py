@@ -35,7 +35,10 @@ from repro.exec.summary import SUMMARY_SCHEMA_VERSION
 
 #: Bump to invalidate every existing cache entry (e.g. after a simulator
 #: change that alters results without touching any Scenario field).
-SCHEMA_VERSION = 1
+#: v2: fault-injection layer (Scenario.faults, retry/timeout completion
+#: path) — pre-faults entries were produced by a semantically different
+#: simulator and must read as misses.
+SCHEMA_VERSION = 2
 
 _SALT = f"isolbench-cache:v{SCHEMA_VERSION}:summary-v{SUMMARY_SCHEMA_VERSION}"
 

@@ -118,6 +118,7 @@ def _run_in_worker(scenario: Scenario):
 
 
 def _default_worker_count() -> int:
+    """One worker per CPU, minus one for the coordinating process."""
     return max(1, (os.cpu_count() or 2) - 1)
 
 
@@ -142,6 +143,7 @@ class SweepExecutor:
     # Lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Lazily create the spawn-context pool (first parallel miss)."""
         if self._pool is None:
             import multiprocessing
 

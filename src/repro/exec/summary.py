@@ -30,7 +30,8 @@ from repro.metrics.latency import cdf, summarize_latencies
 
 #: Bump when the summary layout changes; folded into cache keys so stale
 #: cache entries from older layouts can never be returned.
-SUMMARY_SCHEMA_VERSION = 1
+#: v2: added fault_counters (failure accounting under Scenario.faults).
+SUMMARY_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -61,6 +62,11 @@ class ScenarioSummary:
     cpu: CpuReport
     work_conservation_violation: float
     events_processed: int = 0
+    # Failure accounting under Scenario.faults (retries, timeouts,
+    # delivered failures, per-device injector counters); empty for
+    # fault-free runs. Deterministic content: same seed + same plan
+    # must reproduce it bit-identically.
+    fault_counters: dict[str, float] = field(default_factory=dict)
     # Wall-clock diagnostics of the run that produced this summary; not
     # part of the deterministic content (see content_equal).
     wall_seconds: float = 0.0
@@ -71,23 +77,29 @@ class ScenarioSummary:
     # ------------------------------------------------------------------
     @property
     def window_us(self) -> float:
+        """Measurement-window length in microseconds."""
         return self.t_end_us - self.t_start_us
 
     @property
     def events_per_sec(self) -> float:
+        """Simulator throughput of the producing run (wall-clock rate)."""
         return self.events_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def app_names(self) -> list[str]:
+        """Sorted names of every app that completed at least one IO."""
         return sorted(self.apps)
 
     def cgroup_of(self, app_name: str) -> str:
+        """The cgroup path the app ran in."""
         return self.apps[app_name].cgroup_path
 
     def series_of(self, app_name: str) -> tuple[list[float], list[int]]:
+        """Completion series as ``(times_us, sizes_bytes)``."""
         series = self.apps[app_name]
         return series.times, series.sizes
 
     def window_latencies(self, app_name: str, t_start: float, t_end: float) -> list[float]:
+        """Latencies of completions inside ``[t_start, t_end)``."""
         series = self.apps[app_name]
         return [
             lat
@@ -96,6 +108,7 @@ class ScenarioSummary:
         ]
 
     def app_stats_window(self, app_name: str, t_start: float, t_end: float) -> AppWindowStats:
+        """IOs/bytes/latency digest of one app over an arbitrary window."""
         series = self.apps[app_name]
         total_bytes = 0
         ios = 0
@@ -115,12 +128,15 @@ class ScenarioSummary:
         )
 
     def app_stats(self, app_name: str) -> AppWindowStats:
+        """:meth:`app_stats_window` over the full measurement window."""
         return self.app_stats_window(app_name, self.t_start_us, self.t_end_us)
 
     def all_app_stats(self) -> dict[str, AppWindowStats]:
+        """Full-window stats for every app, keyed by name."""
         return {name: self.app_stats(name) for name in self.app_names()}
 
     def cgroup_stats(self) -> dict[str, AppWindowStats]:
+        """Per-cgroup stats: member apps merged, latencies pooled."""
         by_group: dict[str, list[str]] = {}
         for name in self.app_names():
             by_group.setdefault(self.apps[name].cgroup_path, []).append(name)
@@ -143,6 +159,7 @@ class ScenarioSummary:
         return merged
 
     def latency_cdf(self, app_name: str, points: int = 200):
+        """Empirical latency CDF of one app over the full window."""
         samples = self.window_latencies(app_name, self.t_start_us, self.t_end_us)
         return cdf(samples, points=points)
 
@@ -150,20 +167,24 @@ class ScenarioSummary:
     # Aggregates
     # ------------------------------------------------------------------
     def total_bytes(self, t_start: float, t_end: float) -> int:
+        """Bytes completed by all apps inside the window."""
         return sum(
             self.app_stats_window(name, t_start, t_end).bytes for name in self.apps
         )
 
     @property
     def aggregate_bandwidth_gib_s(self) -> float:
+        """All-app bandwidth over the measurement window, in GiB/s."""
         total = self.total_bytes(self.t_start_us, self.t_end_us)
         return total / GIB / (self.window_us / 1e6)
 
     @property
     def equivalent_bandwidth_gib_s(self) -> float:
+        """Bandwidth rescaled to the unscaled device (x ``device_scale``)."""
         return self.aggregate_bandwidth_gib_s * self.device_scale
 
     def fairness(self, weights_by_group: dict[str, float] | None = None) -> float:
+        """Weighted Jain fairness index over per-cgroup bandwidth."""
         groups = self.cgroup_stats()
         if not groups:
             raise ValueError("no completions in the measurement window")
@@ -211,10 +232,12 @@ class ScenarioSummary:
         return self.content_dict() == other.content_dict()
 
     def to_json_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable, nested dataclasses inlined)."""
         return asdict(self)
 
     @classmethod
     def from_json_dict(cls, doc: dict) -> "ScenarioSummary":
+        """Rebuild a summary from a :meth:`to_json_dict` document."""
         doc = dict(doc)
         doc["apps"] = {
             name: AppSeries(**series) for name, series in doc["apps"].items()
@@ -255,6 +278,7 @@ def summarize(result) -> ScenarioSummary:
         cpu=result.cpu,
         work_conservation_violation=result.work_conservation_violation,
         events_processed=result.events_processed,
+        fault_counters=dict(result.fault_counters),
         wall_seconds=result.wall_seconds,
     )
 

@@ -1,0 +1,60 @@
+"""Deterministic fault injection and degraded-device robustness.
+
+Public API:
+
+* :mod:`repro.faults.plan` — frozen :class:`FaultPlan` configuration
+  (latency spikes, GC storms, slowdowns, transient errors, retry policy)
+  carried on ``Scenario.faults`` and hashed into the exec cache key;
+* :mod:`repro.faults.presets` — named fault classes (``latency-spike``,
+  ``gc-storm``, ``slowdown``, ``transient-error``, ``timeout-storm``)
+  used by ``isol-bench --faults`` and the D5 robustness sweep;
+* :mod:`repro.faults.injector` — per-device runtime turning a plan into
+  simulator events;
+* :mod:`repro.faults.retry` — host-side retry/backoff/timeout
+  coordinator and failure accounting.
+
+See docs/faults.md for the model rationale and docs/api/faults.md for
+usage examples.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    GcStorm,
+    LatencySpike,
+    RetryPolicy,
+    Slowdown,
+    TransientErrors,
+)
+from repro.faults.presets import (
+    DEFAULT_RETRY,
+    FAULT_CLASSES,
+    gc_storm_plan,
+    get_fault_plan,
+    latency_spike_plan,
+    slowdown_plan,
+    timeout_storm_plan,
+    transient_error_plan,
+)
+from repro.faults.retry import FaultStats, RetryCoordinator, backoff_delay
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "GcStorm",
+    "LatencySpike",
+    "RetryCoordinator",
+    "RetryPolicy",
+    "Slowdown",
+    "TransientErrors",
+    "backoff_delay",
+    "gc_storm_plan",
+    "get_fault_plan",
+    "latency_spike_plan",
+    "slowdown_plan",
+    "timeout_storm_plan",
+    "transient_error_plan",
+]

@@ -1,0 +1,279 @@
+"""Declarative fault plans: what goes wrong, when, and how hard.
+
+A :class:`FaultPlan` is the *configuration* side of the fault-injection
+subsystem: a frozen, hashable description that lives on
+``Scenario.faults`` and therefore flows into the content-addressed cache
+key exactly like a knob or a device preset. The *runtime* side — the
+per-device :class:`~repro.faults.injector.FaultInjector` and the host's
+:class:`~repro.faults.retry.RetryCoordinator` — is built from the plan
+when the :class:`~repro.core.host.Host` is wired.
+
+Four device-level fault classes are modelled, mirroring how real NVMe
+drives misbehave (see docs/faults.md for the mapping to field failure
+modes):
+
+* :class:`LatencySpike` — periodic whole- or part-device stalls
+  (firmware housekeeping, thermal throttling events);
+* :class:`GcStorm` — windows of forced garbage collection: extra write
+  amplification plus background chunk traffic competing for flash units;
+* :class:`Slowdown` — a sustained per-op service-time multiplier over a
+  time window (media wear, degraded overprovisioning);
+* :class:`TransientErrors` — stochastic per-request device errors the
+  host must retry (media ECC retries, command timeouts).
+
+Host-side resilience is configured by :class:`RetryPolicy` (bounded
+retries with exponential backoff + jitter, optional per-attempt
+watchdog timeout).
+
+All time-valued fields are in **simulated microseconds at device
+scale 1**; use :meth:`FaultPlan.scaled` to dilate a plan together with
+``Scenario.device_scale`` so the fault shape is preserved on slowed
+devices (the same convention ``SsdModel.scaled`` follows).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Periodic device stalls occupying a fraction of the flash units.
+
+    Every ``period_us`` (first at ``first_at_us``) the injector occupies
+    ``unit_fraction`` of the device's flash units for ``stall_us``,
+    so in-flight and newly arriving requests queue behind the stall —
+    the tail-latency spike signature of firmware housekeeping.
+    ``jitter`` > 0 makes the period stochastic: each gap is drawn
+    uniformly from ``period_us * (1 ± jitter)`` using the scenario's
+    seeded fault RNG stream, so runs stay deterministic.
+    """
+
+    first_at_us: float = 50_000.0
+    period_us: float = 100_000.0
+    stall_us: float = 5_000.0
+    unit_fraction: float = 1.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.first_at_us < 0:
+            raise ValueError("first_at_us must be >= 0")
+        if self.period_us <= 0 or self.stall_us <= 0:
+            raise ValueError("spike period and stall must be positive")
+        if not 0 < self.unit_fraction <= 1:
+            raise ValueError("unit_fraction must be in (0, 1]")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class GcStorm:
+    """A window of forced garbage collection.
+
+    For ``storm_us`` out of every ``period_us`` (first window opening at
+    ``first_at_us``) the device behaves as if GC debt crossed its high
+    watermark: write service costs are amplified by an extra
+    ``extra_waf`` on top of the model's steady-state WAF, and a
+    background relocation loop occupies ``unit_fraction`` of the flash
+    units for ``duty`` of the time (in ``chunk_period_us`` slices), so
+    reads queue behind GC traffic too — the degraded regime where the
+    paper's Fig. 6b read/write collapse lives.
+    """
+
+    first_at_us: float = 20_000.0
+    period_us: float = 200_000.0
+    storm_us: float = 80_000.0
+    extra_waf: float = 2.0
+    unit_fraction: float = 0.5
+    duty: float = 0.5
+    chunk_period_us: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.first_at_us < 0:
+            raise ValueError("first_at_us must be >= 0")
+        if self.period_us <= 0 or self.storm_us <= 0 or self.chunk_period_us <= 0:
+            raise ValueError("storm periods must be positive")
+        if self.storm_us > self.period_us:
+            raise ValueError("storm_us must not exceed period_us")
+        if self.extra_waf < 1.0:
+            raise ValueError("extra_waf must be >= 1")
+        if not 0 < self.unit_fraction <= 1:
+            raise ValueError("unit_fraction must be in (0, 1]")
+        if not 0 <= self.duty <= 1:
+            raise ValueError("duty must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """A sustained per-op service-time multiplier over a time window.
+
+    Flash and bus occupancy of reads is multiplied by ``read_mult`` and
+    of writes by ``write_mult`` while ``start_us <= now < stop_us``
+    (``stop_us = inf`` means "until the end of the run"). Models media
+    wear, thermal throttling plateaus and degraded overprovisioning.
+    """
+
+    read_mult: float = 1.0
+    write_mult: float = 1.0
+    start_us: float = 0.0
+    stop_us: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.read_mult < 1.0 or self.write_mult < 1.0:
+            raise ValueError("slowdown multipliers must be >= 1")
+        if self.start_us < 0 or self.stop_us <= self.start_us:
+            raise ValueError("need 0 <= start_us < stop_us")
+
+
+@dataclass(frozen=True)
+class TransientErrors:
+    """Stochastic per-request device errors inside a time window.
+
+    Each request entering device service while the window is active
+    fails independently with ``probability``; a failing request occupies
+    a flash unit for ``error_latency_us`` (the abort/ECC-retry cost)
+    and completes with its error flag set, which triggers the host's
+    :class:`RetryPolicy`. Draws come from the scenario's seeded fault
+    RNG stream, so error placement is deterministic per seed.
+    """
+
+    probability: float = 0.01
+    error_latency_us: float = 50.0
+    start_us: float = 0.0
+    stop_us: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0 < self.probability <= 1:
+            raise ValueError("error probability must be in (0, 1]")
+        if self.error_latency_us < 0:
+            raise ValueError("error_latency_us must be >= 0")
+        if self.start_us < 0 or self.stop_us <= self.start_us:
+            raise ValueError("need 0 <= start_us < stop_us")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Host-side resilience: bounded retries, backoff, watchdog timeout.
+
+    * ``max_attempts`` — total attempts per request (1 = no retries:
+      the first device error is delivered to the app as a failure).
+    * ``backoff_base_us`` / ``backoff_mult`` — attempt *n* (n >= 2) is
+      resubmitted ``backoff_base_us * backoff_mult**(n - 2)`` after the
+      failure, scaled by a uniform ``1 ± jitter`` factor drawn from the
+      seeded retry RNG stream (decorrelates retry herds without losing
+      determinism).
+    * ``timeout_us`` — per-attempt watchdog: an attempt still incomplete
+      this long after entering the block layer is abandoned (its stale
+      completion is dropped when it eventually surfaces) and counted as
+      a timeout; the request is retried if attempts remain, otherwise
+      delivered to the app as failed. ``0`` disables the watchdog.
+    """
+
+    max_attempts: int = 3
+    backoff_base_us: float = 100.0
+    backoff_mult: float = 2.0
+    jitter: float = 0.1
+    timeout_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_us < 0:
+            raise ValueError("backoff_base_us must be >= 0")
+        if self.backoff_mult < 1.0:
+            raise ValueError("backoff_mult must be >= 1")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.timeout_us < 0:
+            raise ValueError("timeout_us must be >= 0 (0 disables)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one scenario, plus the host response.
+
+    Set on ``Scenario.faults``; the plan (like every Scenario field)
+    participates in the content-addressed cache key, so two runs that
+    differ only in their faults never share a cache entry.
+    """
+
+    label: str = "faults"
+    spikes: tuple[LatencySpike, ...] = ()
+    storms: tuple[GcStorm, ...] = ()
+    slowdowns: tuple[Slowdown, ...] = ()
+    errors: tuple[TransientErrors, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("a fault plan needs a non-empty label")
+        for name in ("spikes", "storms", "slowdowns", "errors"):
+            if not isinstance(getattr(self, name), tuple):
+                raise ValueError(f"{name} must be a tuple (hashable plan)")
+
+    @property
+    def device_faults(self) -> bool:
+        """True when any device-level fault is configured."""
+        return bool(self.spikes or self.storms or self.slowdowns or self.errors)
+
+    def scaled(self, device_scale: float) -> "FaultPlan":
+        """Dilate every time-valued field by ``device_scale``.
+
+        Mirrors ``SsdModel.scaled``: on a device slowed ``N``-fold, a
+        spike that hits every 100 ms of full-speed time must hit every
+        ``N * 100`` ms of simulated time to preserve the fault shape
+        (stalls per request served, errors per request, backoff relative
+        to service time).
+        """
+        if device_scale < 1:
+            raise ValueError("device_scale must be >= 1")
+        if device_scale == 1:
+            return self
+
+        def dilate(value: float) -> float:
+            return value if math.isinf(value) else value * device_scale
+
+        return FaultPlan(
+            label=self.label,
+            spikes=tuple(
+                dataclasses.replace(
+                    s,
+                    first_at_us=dilate(s.first_at_us),
+                    period_us=dilate(s.period_us),
+                    stall_us=dilate(s.stall_us),
+                )
+                for s in self.spikes
+            ),
+            storms=tuple(
+                dataclasses.replace(
+                    s,
+                    first_at_us=dilate(s.first_at_us),
+                    period_us=dilate(s.period_us),
+                    storm_us=dilate(s.storm_us),
+                    chunk_period_us=dilate(s.chunk_period_us),
+                )
+                for s in self.storms
+            ),
+            slowdowns=tuple(
+                dataclasses.replace(
+                    s, start_us=dilate(s.start_us), stop_us=dilate(s.stop_us)
+                )
+                for s in self.slowdowns
+            ),
+            errors=tuple(
+                dataclasses.replace(
+                    e,
+                    error_latency_us=dilate(e.error_latency_us),
+                    start_us=dilate(e.start_us),
+                    stop_us=dilate(e.stop_us),
+                )
+                for e in self.errors
+            ),
+            retry=dataclasses.replace(
+                self.retry,
+                backoff_base_us=dilate(self.retry.backoff_base_us),
+                timeout_us=dilate(self.retry.timeout_us),
+            ),
+        )

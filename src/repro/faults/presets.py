@@ -1,0 +1,130 @@
+"""Named fault-class presets: the degraded-device axis of the D5 sweep.
+
+Each preset is a :class:`~repro.faults.plan.FaultPlan` calibrated (at
+device scale 1) against the Samsung-980-PRO-like flash preset so the
+fault is *material but survivable*: the device keeps completing requests,
+but tail latency, fairness and work conservation are visibly stressed —
+the regime where isolation knobs differentiate. The D5 robustness sweep
+(:mod:`repro.core.d5_robustness`) ranks the five cgroup knobs under each
+class; ``isol-bench run/trace --faults <name>`` applies one to an ad-hoc
+scenario.
+
+Time-valued parameters are at device scale 1; callers running scaled
+scenarios apply :meth:`~repro.faults.plan.FaultPlan.scaled`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import (
+    FaultPlan,
+    GcStorm,
+    LatencySpike,
+    RetryPolicy,
+    Slowdown,
+    TransientErrors,
+)
+
+#: Default host resilience used by the presets: a few attempts with
+#: sub-millisecond backoff, no watchdog (timeouts are their own preset).
+DEFAULT_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base_us=100.0, backoff_mult=2.0, jitter=0.1
+)
+
+
+def latency_spike_plan() -> FaultPlan:
+    """Full-device stalls of 2 ms every 20 ms: ~10% time under stall."""
+    return FaultPlan(
+        label="latency-spike",
+        spikes=(
+            LatencySpike(
+                first_at_us=10_000.0,
+                period_us=20_000.0,
+                stall_us=2_000.0,
+                unit_fraction=1.0,
+            ),
+        ),
+        retry=DEFAULT_RETRY,
+    )
+
+
+def gc_storm_plan() -> FaultPlan:
+    """Forced GC 40% of the time: 2x extra WAF + half the flash units busy."""
+    return FaultPlan(
+        label="gc-storm",
+        storms=(
+            GcStorm(
+                first_at_us=10_000.0,
+                period_us=50_000.0,
+                storm_us=20_000.0,
+                extra_waf=2.0,
+                unit_fraction=0.5,
+                duty=0.6,
+                chunk_period_us=1_000.0,
+            ),
+        ),
+        retry=DEFAULT_RETRY,
+    )
+
+
+def slowdown_plan() -> FaultPlan:
+    """Worn media: every read 2x, every write 3x slower, whole run."""
+    return FaultPlan(
+        label="slowdown",
+        slowdowns=(Slowdown(read_mult=2.0, write_mult=3.0),),
+        retry=DEFAULT_RETRY,
+    )
+
+
+def transient_error_plan() -> FaultPlan:
+    """2% of requests fail at the device; host retries up to 4 attempts."""
+    return FaultPlan(
+        label="transient-error",
+        errors=(TransientErrors(probability=0.02, error_latency_us=50.0),),
+        retry=RetryPolicy(
+            max_attempts=4, backoff_base_us=50.0, backoff_mult=2.0, jitter=0.1
+        ),
+    )
+
+
+def timeout_storm_plan() -> FaultPlan:
+    """Rare 20 ms whole-device hangs with a 5 ms host watchdog armed."""
+    return FaultPlan(
+        label="timeout-storm",
+        spikes=(
+            LatencySpike(
+                first_at_us=25_000.0,
+                period_us=100_000.0,
+                stall_us=20_000.0,
+                unit_fraction=1.0,
+            ),
+        ),
+        retry=RetryPolicy(
+            max_attempts=3,
+            backoff_base_us=200.0,
+            backoff_mult=2.0,
+            jitter=0.1,
+            timeout_us=5_000.0,
+        ),
+    )
+
+
+#: Registry used by ``isol-bench --faults`` and the D5 sweep.
+FAULT_CLASSES: dict[str, Callable[[], FaultPlan]] = {
+    "latency-spike": latency_spike_plan,
+    "gc-storm": gc_storm_plan,
+    "slowdown": slowdown_plan,
+    "transient-error": transient_error_plan,
+    "timeout-storm": timeout_storm_plan,
+}
+
+
+def get_fault_plan(name: str) -> FaultPlan:
+    """Look up a preset by name (``isol-bench --faults`` values)."""
+    try:
+        return FAULT_CLASSES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown fault class {name!r}; options: {sorted(FAULT_CLASSES)}"
+        ) from None

@@ -20,9 +20,24 @@ class ThrottleLayer:
     """cgroup-level I/O controller (io.max / io.latency / io.cost)."""
 
     name = "throttle"
+    # Degraded-mode counter: device errors and watchdog timeouts observed
+    # on requests this controller admitted. A class-level 0 default keeps
+    # fault-free construction free; on_fault() promotes it to an instance
+    # attribute on first use.
+    faulted = 0
 
     def start(self) -> None:
         """Arm periodic timers. Called once when the scenario starts."""
+
+    def on_fault(self, req: IoRequest) -> None:
+        """Account a device error / timeout on an admitted request.
+
+        Real controllers see degraded devices only through their own
+        latency/budget feedback; this explicit counter is what lets the
+        sampler distinguish "slow because throttled" from "slow because
+        faulted" per knob.
+        """
+        self.faulted += 1
 
     def submit(self, req: IoRequest, forward: ForwardFn) -> None:
         """Admit ``req`` downstream (possibly later) by calling ``forward``."""
@@ -47,10 +62,11 @@ class ThrottleLayer:
 
         Returns a flat ``metric name -> value`` mapping; keys should be
         stable across ticks so exported time series line up. The default
-        is empty: a stateless controller has nothing to report beyond
-        :meth:`pending`, which the sampler records separately.
+        is empty apart from the degraded-mode counter: a stateless
+        controller has nothing else to report beyond :meth:`pending`,
+        which the sampler records separately.
         """
-        return {}
+        return {"faulted": float(self.faulted)}
 
 
 class PassthroughThrottle(ThrottleLayer):

@@ -242,10 +242,9 @@ class IoCostController(ThrottleLayer):
 
     def snapshot(self) -> dict[str, float]:
         """vrate plus per-group budget state, like iocost_monitor.py."""
-        row: dict[str, float] = {
-            "vrate_pct": self.vrate * 100.0,
-            "active_groups": float(len(self._active)),
-        }
+        row = super().snapshot()
+        row["vrate_pct"] = self.vrate * 100.0
+        row["active_groups"] = float(len(self._active))
         vnow = self.vnow()
         for path, state in self._states.items():
             # Positive debt: how far the group's vtime runs ahead of the

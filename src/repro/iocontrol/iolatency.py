@@ -159,7 +159,7 @@ class IoLatencyController(ThrottleLayer):
 
     def snapshot(self) -> dict[str, float]:
         """Per-group window state (the io.latency half of io.stat debug)."""
-        row: dict[str, float] = {}
+        row = super().snapshot()
         for path, state in self._states.items():
             row[f"group.{path}.qd_limit"] = float(state.qd_limit)
             row[f"group.{path}.in_flight"] = float(state.in_flight)

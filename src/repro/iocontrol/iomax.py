@@ -117,7 +117,8 @@ class IoMaxController(ThrottleLayer):
 
     def snapshot(self) -> dict[str, float]:
         """Token levels of every limited group (negative = over budget)."""
-        row: dict[str, float] = {"throttled": float(self._throttled_in_flight)}
+        row = super().snapshot()
+        row["throttled"] = float(self._throttled_in_flight)
         now = self.sim.now
         for path, buckets in self._buckets.items():
             if buckets is None:

@@ -59,6 +59,10 @@ class IoRequest:
         "device_start_time",
         "complete_time",
         "abs_cost",
+        "attempts",
+        "failed",
+        "abandoned",
+        "timeout_event",
     )
 
     def __init__(
@@ -86,6 +90,34 @@ class IoRequest:
         # Filled in by the io.cost controller: the request's absolute cost
         # in device-microseconds according to the configured io.cost.model.
         self.abs_cost = 0.0
+        # Fault-injection state (see repro.faults.retry): attempt number
+        # of the current submission, device-error flag for this attempt,
+        # watchdog-abandoned flag (completion will be dropped as stale)
+        # and the armed watchdog event handle, if any.
+        self.attempts = 1
+        self.failed = False
+        self.abandoned = False
+        self.timeout_event = None
+
+    def clone_for_retry(self) -> "IoRequest":
+        """A fresh attempt replacing a watchdog-abandoned submission.
+
+        The clone keeps ``submit_time`` (app-visible latency spans every
+        attempt) and the attempt count of the abandoned original; stack
+        timestamps reset as the clone re-enters the block layer.
+        """
+        clone = IoRequest(
+            self.app_name,
+            self.cgroup_path,
+            self.op,
+            self.pattern,
+            self.size,
+            self.device_index,
+            self.prio_class,
+        )
+        clone.submit_time = self.submit_time
+        clone.attempts = self.attempts
+        return clone
 
     @property
     def latency_us(self) -> float:

@@ -39,4 +39,5 @@ class TraceConfig:
 
     @property
     def sampling(self) -> bool:
+        """Whether periodic stack sampling is enabled."""
         return self.sample_period_us > 0

@@ -61,6 +61,7 @@ class Trace:
         return tracer.attribution(by=by)
 
     def sample_keys(self) -> list[str]:
+        """Union of all sample-row keys, ``t_us`` first (CSV header order)."""
         seen: dict[str, None] = {"t_us": None}
         for row in self.samples:
             for key in row:
@@ -113,6 +114,7 @@ def read_jsonl(path: str) -> Trace:
 # CSV
 # ----------------------------------------------------------------------
 def write_spans_csv(trace: Trace, path: str) -> None:
+    """Write the trace's spans as CSV, one row per request."""
     with open(path, "w", encoding="utf-8", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=SPAN_FIELDS)
         writer.writeheader()
@@ -121,11 +123,13 @@ def write_spans_csv(trace: Trace, path: str) -> None:
 
 
 def read_spans_csv(path: str) -> list[RequestSpan]:
+    """Parse a file written by :func:`write_spans_csv`."""
     with open(path, "r", encoding="utf-8", newline="") as fh:
         return [RequestSpan.from_dict(row) for row in csv.DictReader(fh)]
 
 
 def write_samples_csv(trace: Trace, path: str) -> None:
+    """Write the periodic samples as CSV; absent keys render empty."""
     keys = trace.sample_keys()
     with open(path, "w", encoding="utf-8", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=keys, restval="")
@@ -135,6 +139,7 @@ def write_samples_csv(trace: Trace, path: str) -> None:
 
 
 def read_samples_csv(path: str) -> list[dict]:
+    """Parse a file written by :func:`write_samples_csv` (floats only)."""
     rows: list[dict] = []
     with open(path, "r", encoding="utf-8", newline="") as fh:
         for raw in csv.DictReader(fh):

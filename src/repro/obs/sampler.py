@@ -42,9 +42,11 @@ class StackSampler:
         self.sim.schedule(self.period_us, self._tick)
 
     def stop(self) -> None:
+        """Stop sampling; the next scheduled tick becomes a no-op."""
         self._running = False
 
     def _tick(self) -> None:
+        """Record one snapshot row and re-arm for the next period."""
         if not self._running:
             return
         row = {"t_us": self.sim.now}

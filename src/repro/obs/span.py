@@ -95,9 +95,11 @@ class RequestSpan:
         return self.complete_us - self.submit_us
 
     def op_name(self) -> str:
+        """Lower-case operation name (``read``/``write``/...)."""
         return OpType(self.op).name.lower()
 
     def pattern_name(self) -> str:
+        """Lower-case access-pattern name (``seq``/``rand``)."""
         return Pattern(self.pattern).name.lower()
 
     def as_dict(self) -> dict:
@@ -122,6 +124,7 @@ class RequestSpan:
 
     @classmethod
     def from_dict(cls, record: dict) -> "RequestSpan":
+        """Rebuild a span from an :meth:`as_dict` record (JSONL/CSV)."""
         return cls(
             app=record["app"],
             cgroup=record["cgroup"],
@@ -163,18 +166,22 @@ class LatencyAttribution:
 
     @property
     def mean_held_us(self) -> float:
+        """Mean per-IO time held by the throttling layer."""
         return self.held_us / self.ios if self.ios else 0.0
 
     @property
     def mean_queued_us(self) -> float:
+        """Mean per-IO time queued in scheduler + device queues."""
         return self.queued_us / self.ios if self.ios else 0.0
 
     @property
     def mean_service_us(self) -> float:
+        """Mean per-IO device service time."""
         return self.service_us / self.ios if self.ios else 0.0
 
     @property
     def mean_latency_us(self) -> float:
+        """Mean end-to-end latency (held + queued + service)."""
         return self.latency_us / self.ios if self.ios else 0.0
 
 

@@ -53,6 +53,15 @@ class _Event:
             self.cancelled = True
             self.sim._cancelled_total += 1
 
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled).
+
+        Used by watchdog bookkeeping (repro.faults) and tests; the fire
+        loop never reads it, so it costs nothing on the hot path.
+        """
+        return not self.cancelled
+
 
 class Simulator:
     """A discrete-event simulator with a microsecond clock.

@@ -51,6 +51,10 @@ class SimulatedNvmeDevice:
         # Lifetime counters (bytes moved, requests completed) per op.
         self.bytes_completed = {OpType.READ: 0, OpType.WRITE: 0}
         self.requests_completed = {OpType.READ: 0, OpType.WRITE: 0}
+        self.requests_failed = {OpType.READ: 0, OpType.WRITE: 0}
+        # Optional fault runtime (repro.faults.FaultInjector): rolls
+        # per-request errors and scales service costs when attached.
+        self.injector = None
 
     # ------------------------------------------------------------------
     # Submission path
@@ -68,6 +72,16 @@ class SimulatedNvmeDevice:
         flash_cost = self.model.fixed_cost_us(req.op, req.pattern) * self._noise()
         if req.op == OpType.WRITE:
             flash_cost = self.gc.amplify(flash_cost)
+        injector = self.injector
+        if injector is not None:
+            error_cost = injector.roll_error(self.sim.now)
+            if error_cost > 0.0:
+                # The failing attempt still occupies a flash unit for its
+                # abort/ECC-retry cost, then completes with the error flag
+                # set — the host's RetryCoordinator takes it from there.
+                self.flash.submit(error_cost, lambda: self._finish_failed(req, done))
+                return
+            flash_cost *= injector.service_multiplier(req.op, self.sim.now)
         self.flash.submit(flash_cost, lambda: self._bus_phase(req, done))
 
     def _bus_phase(self, req: IoRequest, done: CompletionFn) -> None:
@@ -78,6 +92,11 @@ class SimulatedNvmeDevice:
         per_segment_cost = self.model.bus_cost_us(req.op, req.size) / remaining_segments
         if req.op == OpType.WRITE:
             per_segment_cost = self.gc.amplify(per_segment_cost)
+        if self.injector is not None:
+            # Slowdown windows are re-evaluated per phase: a window that
+            # opens while a request sits in a flash queue still slows its
+            # transfer phase.
+            per_segment_cost *= self.injector.service_multiplier(req.op, self.sim.now)
         self._bus_segment(req, done, per_segment_cost, remaining_segments)
 
     def _bus_segment(
@@ -96,6 +115,16 @@ class SimulatedNvmeDevice:
         self.requests_completed[req.op] += 1
         if req.op == OpType.WRITE:
             self.gc.on_write(req.size)
+        if self._boundary_queue:
+            next_req, next_done = self._boundary_queue.popleft()
+            self._start(next_req, next_done)
+        done(req)
+
+    def _finish_failed(self, req: IoRequest, done: CompletionFn) -> None:
+        """Complete an errored attempt: no data moved, no GC accounting."""
+        self._in_flight -= 1
+        self.requests_failed[req.op] += 1
+        req.failed = True
         if self._boundary_queue:
             next_req, next_done = self._boundary_queue.popleft()
             self._start(next_req, next_done)
@@ -144,6 +173,8 @@ class SimulatedNvmeDevice:
             "wbytes": float(self.bytes_completed[OpType.WRITE]),
             "rios": float(self.requests_completed[OpType.READ]),
             "wios": float(self.requests_completed[OpType.WRITE]),
+            "rerrs": float(self.requests_failed[OpType.READ]),
+            "werrs": float(self.requests_failed[OpType.WRITE]),
             "gc_waf": self.gc.write_amplification,
             "gc_amplified_bytes": float(self.gc.amplified_bytes),
         }

@@ -42,6 +42,10 @@ class GcState:
         self.precondition_bytes = precondition_bytes
         self.host_bytes_written = 0
         self.amplified_bytes = 0
+        # Forced-GC storm state (repro.faults.GcStorm windows): extra
+        # write amplification multiplied on top of the steady-state WAF
+        # while at least one storm window is open.
+        self._storm_mult = 1.0
 
     def precondition(self) -> None:
         """Force steady state (sequential fill + random overwrite, §III)."""
@@ -57,10 +61,25 @@ class GcState:
 
     @property
     def write_amplification(self) -> float:
-        """Current effective WAF (1.0 before steady state or for Optane)."""
+        """Current effective WAF (1.0 before steady state or for Optane).
+
+        An open forced-GC storm window multiplies its ``extra_waf`` on
+        top — even on a fresh or GC-less device, because a storm models
+        the FTL relocating data *now*, not steady-state debt.
+        """
         if not self.enabled or not self.preconditioned:
-            return 1.0
-        return self.model.gc.write_amplification
+            return self._storm_mult
+        return self.model.gc.write_amplification * self._storm_mult
+
+    def begin_storm(self, extra_waf: float) -> None:
+        """Open a forced-GC window (storms stack multiplicatively)."""
+        self._storm_mult *= extra_waf
+
+    def end_storm(self, extra_waf: float) -> None:
+        """Close a forced-GC window opened with the same ``extra_waf``."""
+        self._storm_mult /= extra_waf
+        if abs(self._storm_mult - 1.0) < 1e-12:
+            self._storm_mult = 1.0
 
     def amplify(self, cost_us: float) -> float:
         """Scale a write's service cost by the current amplification."""

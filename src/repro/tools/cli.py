@@ -5,8 +5,10 @@ Subcommands mirror the benchmark suite::
     isol-bench describe-device [flash|optane]
     isol-bench coef-gen [flash|optane]       # io.cost model generation
     isol-bench run --knob io.cost ...        # one ad-hoc scenario
+    isol-bench run --faults gc-storm ...     # ... on a degraded device
     isol-bench trace --knob io.cost --out t.json   # traced run -> timeline
     isol-bench table1 [--quick] [--workers N] [--no-cache]  # Table I
+    isol-bench d5 [--quick|--mini] [--faults a,b]  # robustness ranking
     isol-bench cache stats|path|clear        # result-cache maintenance
 
 ``table1`` fans its scenario sweeps over worker processes and caches
@@ -31,6 +33,7 @@ from repro.core.config import (
     Scenario,
 )
 from repro.core.runner import run_scenario
+from repro.faults import FAULT_CLASSES, get_fault_plan
 from repro.obs import (
     TraceConfig,
     write_chrome_trace,
@@ -92,12 +95,24 @@ def _scenario_from_args(args: argparse.Namespace, name: str, trace=None) -> Scen
         device_scale=args.device_scale,
         seed=args.seed,
         trace=trace,
+        faults=get_fault_plan(args.faults) if args.faults else None,
     )
+
+
+def _print_fault_counters(result) -> None:
+    """The failure-accounting block of run/trace output."""
+    counters = result.fault_counters
+    if not counters:
+        return
+    print(f"\nfault injection ({result.scenario.faults.label}):")
+    for key in sorted(counters):
+        print(f"  {key:<28s} {counters[key]:,.0f}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_scenario(_scenario_from_args(args, "cli-run"))
     print(result.describe())
+    _print_fault_counters(result)
     return 0
 
 
@@ -137,6 +152,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"{attr.mean_queued_us:>10.1f} {attr.mean_service_us:>10.1f} "
             f"{attr.mean_latency_us:>11.1f}"
         )
+    # "held" above is throttle wait; the block below is fault-induced
+    # slowness (retries/timeouts) — together they attribute tail latency.
+    _print_fault_counters(result)
     for path in written:
         print(f"\nwrote {args.format} trace: {path}")
     if args.format == "chrome":
@@ -218,6 +236,52 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_d5(args: argparse.Namespace) -> int:
+    from repro.core.d5_robustness import (
+        RobustnessSettings,
+        evaluate_robustness,
+        mini_settings,
+        quick_settings,
+    )
+
+    if args.mini:
+        settings = mini_settings()
+    elif args.quick:
+        settings = quick_settings()
+    else:
+        settings = RobustnessSettings()
+    if args.faults:
+        names = tuple(name.strip() for name in args.faults.split(",") if name.strip())
+        for name in names:
+            get_fault_plan(name)  # fail fast on typos, with the options list
+        settings.fault_classes = names
+
+    with _build_executor(args) as executor:
+        table = evaluate_robustness(settings, executor=executor)
+        stats = executor.stats
+        cache_line = (
+            f", cache: {executor.cache.stats}" if executor.cache is not None else ""
+        )
+    print(table.render())
+    best = table.rank()[0]
+    print(
+        f"\nmost robust knob: {best.knob} "
+        f"(mean p99 degradation {best.mean_p99_ratio:.2f}x across "
+        f"{len(table.fault_classes)} fault classes)"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(table.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote ranking JSON: {args.json}")
+    print(
+        f"sweep stats: executed={stats.executed} cached={stats.cached} "
+        f"failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.exec.cache import main as cache_main
 
@@ -239,6 +303,12 @@ def _add_scenario_args(p: argparse.ArgumentParser, default_lc_apps: int = 0) -> 
     p.add_argument("--duration", type=float, default=0.5)
     p.add_argument("--device-scale", type=float, default=4.0)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--faults",
+        default=None,
+        choices=sorted(FAULT_CLASSES),
+        help="inject a named fault class (repro.faults preset)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -289,6 +359,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true")
     _add_executor_args(p)
     p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser(
+        "d5", help="rank the knobs under fault injection (robustness)"
+    )
+    p.add_argument("--quick", action="store_true", help="reduced effort level")
+    p.add_argument(
+        "--mini", action="store_true", help="smoke effort level (CI; seconds)"
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        help="comma-separated fault classes (default: latency-spike,"
+        "gc-storm,transient-error; options: " + ",".join(sorted(FAULT_CLASSES)) + ")",
+    )
+    p.add_argument("--json", default=None, help="also write the ranking as JSON")
+    _add_executor_args(p)
+    p.set_defaults(fn=_cmd_d5)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("stats", "path", "clear"))

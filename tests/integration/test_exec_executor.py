@@ -144,6 +144,37 @@ class TestCaching:
         # The corrupt file was dropped and replaced by the re-run's store.
         assert fresh.stats.stores == 1
 
+    def test_old_schema_entry_is_dropped_not_mis_hit(self, tmp_path):
+        """The schema-salt contract: an entry written under an older
+        ``SCHEMA_VERSION`` must be unlinked and treated as a miss, never
+        returned as a hit — even when its key and payload are otherwise
+        perfectly valid."""
+        from repro.exec.cachekey import SCHEMA_VERSION
+
+        assert SCHEMA_VERSION >= 2  # v2 added Scenario.faults / fault_counters
+        scenario = tiny_scenario("schema-drift")
+        cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=cache) as pool:
+            genuine = pool.run_one(scenario)
+        key = scenario_key(scenario)
+        path = cache.path_for(key)
+        # Rewrite the entry as if an older release had produced it: same
+        # key, same genuine summary payload, previous schema version.
+        with gzip.open(path, "rb") as fh:
+            entry = pickle.load(fh)
+        entry["schema_version"] = SCHEMA_VERSION - 1
+        with gzip.open(path, "wb") as fh:
+            pickle.dump(entry, fh)
+        fresh = ResultCache(tmp_path / "cache")
+        assert fresh.get(key) is None  # dropped, not mis-hit
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()  # unlinked on detection
+        # The executor recomputes rather than trusting stale bytes.
+        with SweepExecutor(max_workers=1, cache=fresh) as pool:
+            recomputed = pool.run_one(scenario)
+            assert pool.stats.executed == 1
+        assert recomputed.content_equal(genuine)
+
     def test_wrong_payload_type_is_rejected(self, tmp_path):
         scenario = tiny_scenario("typed")
         cache = ResultCache(tmp_path / "cache")

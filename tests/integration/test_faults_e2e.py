@@ -1,0 +1,181 @@
+"""End-to-end fault injection: counters, determinism, observability.
+
+These run full scenarios with ``Scenario.faults`` set and pin the
+cross-layer contracts: each preset trips its own counters, failed
+requests never pollute the success metrics, the sampler exports
+``faults.*`` rows, controllers count degraded-mode events, and — the
+headline — same seed + same plan reproduces the summary bit-identically
+in-process, across reruns, and across a 2-worker spawned sweep.
+"""
+
+import pytest
+
+from repro.core.config import IoLatencyKnob, NoneKnob, Scenario
+from repro.core.runner import run_scenario
+from repro.exec import SweepExecutor, run_scenario_summary
+from repro.faults import FaultPlan, RetryPolicy, TransientErrors, get_fault_plan
+from repro.obs import TraceConfig
+from repro.ssd.presets import samsung_980pro_like
+from repro.workloads.apps import batch_app
+
+
+def faulty_scenario(name: str, faults, seed: int = 42, **overrides) -> Scenario:
+    fields = dict(
+        name=name,
+        knob=NoneKnob(),
+        apps=[batch_app("batch0", "/tenants/a"), batch_app("batch1", "/tenants/b")],
+        ssd_model=samsung_980pro_like(),
+        duration_s=0.5,
+        warmup_s=0.1,
+        seed=seed,
+        device_scale=8.0,
+        faults=faults,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestPerClassCounters:
+    def test_healthy_run_has_no_counters(self):
+        summary = run_scenario_summary(faulty_scenario("healthy", None))
+        assert summary.fault_counters == {}
+
+    def test_latency_spike_counts_spikes(self):
+        summary = run_scenario_summary(
+            faulty_scenario("spiky", get_fault_plan("latency-spike"))
+        )
+        assert summary.fault_counters["dev0.spikes_injected"] >= 2
+
+    def test_gc_storm_counts_windows_and_slows_writes(self):
+        plan = get_fault_plan("gc-storm")
+        write_apps = [
+            batch_app("w0", "/tenants/a", read_fraction=0.0),
+            batch_app("w1", "/tenants/b", read_fraction=0.0),
+        ]
+        stormy = run_scenario_summary(
+            faulty_scenario("stormy", plan, apps=write_apps)
+        )
+        healthy = run_scenario_summary(
+            faulty_scenario("calm", None, apps=write_apps)
+        )
+        assert stormy.fault_counters["dev0.storm_windows"] >= 1
+        assert stormy.aggregate_bandwidth_gib_s < healthy.aggregate_bandwidth_gib_s
+
+    def test_slowdown_cuts_bandwidth(self):
+        slow = run_scenario_summary(
+            faulty_scenario("slow", get_fault_plan("slowdown"))
+        )
+        healthy = run_scenario_summary(faulty_scenario("fast", None))
+        assert (
+            slow.aggregate_bandwidth_gib_s
+            < 0.75 * healthy.aggregate_bandwidth_gib_s
+        )
+
+    def test_transient_errors_are_retried(self):
+        summary = run_scenario_summary(
+            faulty_scenario("flaky", get_fault_plan("transient-error"))
+        )
+        counters = summary.fault_counters
+        assert counters["device_errors"] > 0
+        assert counters["retries"] > 0
+        assert counters["backoff_us"] > 0
+        # Injection leads resolution: errors whose completions were still
+        # in flight when the clock stopped are injected but never resolved.
+        assert counters["dev0.errors_injected"] >= counters["device_errors"]
+        # 2% error rate with 4 attempts: everything eventually succeeds.
+        assert counters["failures_delivered"] == 0
+
+    def test_timeout_storm_abandons_and_drops_stale(self):
+        summary = run_scenario_summary(
+            faulty_scenario("hung", get_fault_plan("timeout-storm"))
+        )
+        counters = summary.fault_counters
+        assert counters["timeouts"] > 0
+        assert counters["stale_completions"] > 0
+        # Every abandoned attempt is either retried or delivered failed.
+        assert (
+            counters["retries"] + counters["failures_delivered"]
+            >= counters["timeouts"]
+        )
+
+    def test_exhausted_retries_deliver_failures_not_metrics(self):
+        """max_attempts=1: every device error surfaces as a failure, and
+        failures are excluded from the success-only latency/bandwidth
+        series (the app still makes progress)."""
+        plan = FaultPlan(
+            label="no-retries",
+            errors=(TransientErrors(probability=0.05, error_latency_us=50.0),),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        summary = run_scenario_summary(faulty_scenario("fatal", plan))
+        counters = summary.fault_counters
+        assert counters["retries"] == 0
+        assert counters["failures_delivered"] == counters["device_errors"] > 0
+        assert summary.aggregate_bandwidth_gib_s > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fault_class", ["latency-spike", "gc-storm", "transient-error", "timeout-storm"]
+    )
+    def test_same_seed_same_plan_bit_identical(self, fault_class):
+        scenario = faulty_scenario(f"det-{fault_class}", get_fault_plan(fault_class))
+        first = run_scenario_summary(scenario)
+        second = run_scenario_summary(scenario)
+        assert first.content_equal(second)
+        assert first.fault_counters == second.fault_counters
+
+    def test_serial_and_two_worker_sweeps_agree(self):
+        """The ISSUE's acceptance bar: serial vs --workers 2 identical."""
+        scenarios = [
+            faulty_scenario(f"xproc-{name}", get_fault_plan(name))
+            for name in ("latency-spike", "transient-error")
+        ]
+        serial = SweepExecutor(max_workers=1).run_strict(scenarios)
+        with SweepExecutor(max_workers=2) as pool:
+            parallel = pool.run_strict(scenarios)
+        for ours, theirs in zip(serial, parallel):
+            assert ours.content_equal(theirs)
+            assert ours.fault_counters  # non-trivial content compared
+
+    def test_different_seed_diverges(self):
+        plan = get_fault_plan("transient-error")
+        a = run_scenario_summary(faulty_scenario("seed-a", plan, seed=1))
+        b = run_scenario_summary(faulty_scenario("seed-a", plan, seed=2))
+        assert a.fault_counters != b.fault_counters
+
+
+class TestObservability:
+    def test_sampler_exports_fault_rows(self):
+        scenario = faulty_scenario(
+            "sampled",
+            get_fault_plan("transient-error"),
+            trace=TraceConfig(spans=False, sample_period_us=50_000.0),
+        )
+        result = run_scenario(scenario)
+        samples = result.trace.samples
+        assert samples
+        keys = set(result.host.sampler.keys())
+        assert {"faults.retries", "faults.device_errors", "faults.timeouts"} <= keys
+        assert "dev0.faults.errors_injected" in keys
+        # Counters are cumulative, hence monotone across rows.
+        series = [row["faults.device_errors"] for row in samples]
+        assert series == sorted(series)
+        assert 0 < series[-1] <= result.fault_counters["device_errors"]
+
+    def test_controller_counts_degraded_mode_events(self):
+        """The admitting throttle layer's snapshot gains a faulted count."""
+        scenario = faulty_scenario(
+            "degraded",
+            get_fault_plan("transient-error"),
+            knob=IoLatencyKnob(targets_us={"/tenants/a": 10_000.0}),
+        )
+        result = run_scenario(scenario)
+        snapshot = result.host.throttles[0].snapshot()
+        assert snapshot["faulted"] == result.fault_counters["device_errors"] > 0
+
+    def test_passthrough_snapshot_reports_faulted_zero_when_healthy(self):
+        result = run_scenario(
+            faulty_scenario("clean", None, duration_s=0.1, warmup_s=0.02)
+        )
+        assert result.host.throttles[0].snapshot()["faulted"] == 0.0

@@ -1,0 +1,114 @@
+"""Link integrity for the markdown documentation.
+
+Every relative link in ``docs/`` (plus the top-level pages that point
+into it) must resolve to a file that exists in the repository, and
+every fragment (``#anchor``) must match a heading in the target file
+using GitHub's slug rules. External ``http(s)`` links are out of scope
+— checking them would make tier-1 depend on the network.
+
+This is satellite coverage for the docs site: a renamed file or heading
+breaks this test instead of silently 404ing for readers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    [
+        *(REPO_ROOT / "docs").rglob("*.md"),
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+    ]
+)
+
+# [text](target) — markdown inline links; images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def _github_slug(heading: str) -> str:
+    """Slugify a heading the way GitHub's anchor generator does."""
+    text = heading.strip()
+    # Inline code / formatting marks contribute their text, not markers.
+    text = re.sub(r"[`*_]", "", text)
+    # Drop trailing markdown link targets inside headings, keep the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.add(_github_slug(match.group(2)))
+    return slugs
+
+
+def _links(path: Path) -> list[str]:
+    found: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        found.extend(_LINK_RE.findall(line))
+    return found
+
+
+def test_doc_files_present() -> None:
+    """The docs tree this suite guards actually exists."""
+    names = {path.relative_to(REPO_ROOT).as_posix() for path in DOC_FILES}
+    for required in (
+        "docs/README.md",
+        "docs/architecture.md",
+        "docs/faults.md",
+        "docs/api/obs.md",
+        "docs/api/exec.md",
+        "docs/api/faults.md",
+        "README.md",
+        "EXPERIMENTS.md",
+    ):
+        assert required in names, f"missing documentation page: {required}"
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=lambda p: p.relative_to(REPO_ROOT).as_posix()
+)
+def test_relative_links_resolve(doc: Path) -> None:
+    broken: list[str] = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            resolved = (doc.parent / raw_path).resolve()
+            if not resolved.exists():
+                broken.append(f"{target} -> {raw_path} does not exist")
+                continue
+        else:
+            resolved = doc
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _headings(resolved):
+                broken.append(f"{target} -> no heading slug '{fragment}'")
+    assert not broken, (
+        f"{doc.relative_to(REPO_ROOT)} has broken links:\n  "
+        + "\n  ".join(broken)
+    )

@@ -23,6 +23,7 @@ from repro.core.config import (
     Scenario,
 )
 from repro.exec.cachekey import SCHEMA_VERSION, canonical_text, scenario_key
+from repro.faults import get_fault_plan
 from repro.ssd.presets import samsung_980pro_like
 from repro.workloads.apps import batch_app, lc_app
 
@@ -97,6 +98,8 @@ class TestScenarioKey:
             {"knob": BfqKnob(weights={"/tenants/a": 100, "/tenants/b": 201})},
             {"knob": MqDeadlineKnob(classes={"/tenants/a": "realtime"})},
             {"knob": IoMaxKnob(limits={"/tenants/a": {"rbps": 1e9}})},
+            {"faults": get_fault_plan("latency-spike")},
+            {"faults": get_fault_plan("transient-error")},
             {"apps": [batch_app("batch0", "/tenants/a")]},
             {"apps": [batch_app("batch0", "/tenants/a", queue_depth=8),
                       lc_app("lc0", "/tenants/b")]},

@@ -1,0 +1,180 @@
+"""FaultPlan construction, validation, scaling and the preset registry.
+
+The plan is the cache-key-visible half of the fault subsystem, so these
+tests pin the properties the executor relies on: frozen/hashable plans,
+total validation (bad shapes raise at construction, never at run time),
+and ``scaled()`` dilating exactly the time-valued fields.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.faults import (
+    FAULT_CLASSES,
+    FaultPlan,
+    GcStorm,
+    LatencySpike,
+    RetryPolicy,
+    Slowdown,
+    TransientErrors,
+    get_fault_plan,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"first_at_us": -1.0},
+            {"period_us": 0.0},
+            {"stall_us": -5.0},
+            {"unit_fraction": 0.0},
+            {"unit_fraction": 1.5},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_bad_spike_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            LatencySpike(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"storm_us": 300_000.0},  # longer than the period
+            {"extra_waf": 0.5},
+            {"duty": 1.5},
+            {"chunk_period_us": 0.0},
+        ],
+    )
+    def test_bad_storm_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            GcStorm(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_mult": 0.5},
+            {"write_mult": 0.9},
+            {"start_us": 10.0, "stop_us": 10.0},
+        ],
+    )
+    def test_bad_slowdown_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            Slowdown(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"probability": 0.0}, {"probability": 1.5}, {"error_latency_us": -1.0}],
+    )
+    def test_bad_errors_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            TransientErrors(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_us": -1.0},
+            {"backoff_mult": 0.5},
+            {"jitter": 1.0},
+            {"timeout_us": -1.0},
+        ],
+    )
+    def test_bad_retry_policy_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_plan_needs_label_and_tuples(self):
+        with pytest.raises(ValueError):
+            FaultPlan(label="")
+        with pytest.raises(ValueError):
+            FaultPlan(spikes=[LatencySpike()])  # list: unhashable
+
+
+class TestPlanProperties:
+    def test_plans_are_hashable_and_comparable(self):
+        a = FaultPlan(spikes=(LatencySpike(),))
+        b = FaultPlan(spikes=(LatencySpike(),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultPlan(spikes=(LatencySpike(stall_us=1.0),))
+
+    def test_device_faults_flag(self):
+        assert not FaultPlan().device_faults  # retry policy alone: host-only
+        assert FaultPlan(spikes=(LatencySpike(),)).device_faults
+        assert FaultPlan(storms=(GcStorm(),)).device_faults
+        assert FaultPlan(slowdowns=(Slowdown(read_mult=2.0),)).device_faults
+        assert FaultPlan(errors=(TransientErrors(),)).device_faults
+
+
+class TestScaled:
+    def test_scale_one_is_identity(self):
+        plan = get_fault_plan("latency-spike")
+        assert plan.scaled(1.0) is plan
+
+    def test_scale_dilates_time_fields_only(self):
+        plan = FaultPlan(
+            spikes=(LatencySpike(first_at_us=10.0, period_us=100.0, stall_us=5.0,
+                                 unit_fraction=0.5, jitter=0.2),),
+            storms=(GcStorm(first_at_us=20.0, period_us=200.0, storm_us=80.0,
+                            extra_waf=3.0, chunk_period_us=2.0),),
+            slowdowns=(Slowdown(read_mult=2.0, start_us=5.0, stop_us=50.0),),
+            errors=(TransientErrors(probability=0.02, error_latency_us=10.0,
+                                    start_us=1.0, stop_us=99.0),),
+            retry=RetryPolicy(backoff_base_us=100.0, timeout_us=1_000.0),
+        )
+        scaled = plan.scaled(8.0)
+        spike = scaled.spikes[0]
+        assert (spike.first_at_us, spike.period_us, spike.stall_us) == (80.0, 800.0, 40.0)
+        assert (spike.unit_fraction, spike.jitter) == (0.5, 0.2)  # shape preserved
+        storm = scaled.storms[0]
+        assert (storm.first_at_us, storm.period_us, storm.storm_us,
+                storm.chunk_period_us) == (160.0, 1600.0, 640.0, 16.0)
+        assert storm.extra_waf == 3.0
+        slow = scaled.slowdowns[0]
+        assert (slow.start_us, slow.stop_us) == (40.0, 400.0)
+        assert slow.read_mult == 2.0
+        err = scaled.errors[0]
+        assert (err.error_latency_us, err.start_us, err.stop_us) == (80.0, 8.0, 792.0)
+        assert err.probability == 0.02
+        assert scaled.retry.backoff_base_us == 800.0
+        assert scaled.retry.timeout_us == 8_000.0
+        assert scaled.retry.max_attempts == plan.retry.max_attempts
+
+    def test_scale_keeps_infinite_windows_infinite(self):
+        plan = FaultPlan(slowdowns=(Slowdown(read_mult=2.0),))
+        assert math.isinf(plan.scaled(8.0).slowdowns[0].stop_us)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            FaultPlan().scaled(0.5)
+
+
+class TestPresets:
+    def test_registry_names_match_labels(self):
+        for name in FAULT_CLASSES:
+            assert get_fault_plan(name).label == name
+
+    def test_every_preset_is_valid_and_hashable(self):
+        plans = {get_fault_plan(name) for name in FAULT_CLASSES}
+        assert len(plans) == len(FAULT_CLASSES)
+
+    def test_presets_are_fresh_instances(self):
+        # Factories, not singletons: callers may replace() fields freely.
+        a = get_fault_plan("gc-storm")
+        b = get_fault_plan("gc-storm")
+        assert a == b and a is not b
+        dataclasses.replace(a, label="tweaked")  # must not raise
+
+    def test_unknown_name_raises_with_options(self):
+        with pytest.raises(KeyError, match="latency-spike"):
+            get_fault_plan("disk-on-fire")
+
+    def test_timeout_storm_arms_watchdog(self):
+        plan = get_fault_plan("timeout-storm")
+        assert plan.retry.timeout_us > 0
+        # The watchdog must be able to fire before the stall ends,
+        # otherwise the preset would never exercise the timeout path.
+        assert plan.retry.timeout_us < plan.spikes[0].stall_us

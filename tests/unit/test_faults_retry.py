@@ -1,0 +1,184 @@
+"""RetryCoordinator unit tests: backoff math, bounded attempts, watchdog.
+
+These drive the coordinator directly against a bare :class:`Simulator`
+with stub resubmit/deliver callbacks — no device, no host — so each
+policy clause (attempt bound, jitter envelope, timeout-then-stale) is
+pinned in isolation from the stack's queueing behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import RetryCoordinator, RetryPolicy, backoff_delay
+from repro.iorequest import IoRequest, OpType, Pattern
+from repro.sim.engine import Simulator
+
+
+def make_request(name: str = "app0") -> IoRequest:
+    return IoRequest(name, "/tenants/a", OpType.READ, Pattern.RANDOM, 4096)
+
+
+class Harness:
+    """A coordinator wired to recording stubs."""
+
+    def __init__(self, policy: RetryPolicy, seed: int = 7):
+        self.sim = Simulator()
+        self.resubmitted: list[tuple[float, IoRequest]] = []
+        self.failures: list[tuple[float, IoRequest]] = []
+        self.faults = 0
+        self.coordinator = RetryCoordinator(
+            self.sim,
+            policy,
+            random.Random(seed),
+            resubmit=lambda req: self.resubmitted.append((self.sim.now, req)),
+            deliver_failure=lambda req: self.failures.append((self.sim.now, req)),
+            on_fault=lambda req: setattr(self, "faults", self.faults + 1),
+        )
+
+
+class TestBackoffDelay:
+    def test_first_attempt_has_no_backoff(self):
+        with pytest.raises(ValueError):
+            backoff_delay(RetryPolicy(), 1, random.Random(0))
+
+    def test_exponential_progression_without_jitter(self):
+        policy = RetryPolicy(backoff_base_us=100.0, backoff_mult=2.0, jitter=0.0)
+        rng = random.Random(0)
+        assert backoff_delay(policy, 2, rng) == 100.0
+        assert backoff_delay(policy, 3, rng) == 200.0
+        assert backoff_delay(policy, 4, rng) == 400.0
+
+    def test_jitter_envelope(self):
+        """Every jittered delay lands inside base * (1 ± jitter)."""
+        policy = RetryPolicy(backoff_base_us=100.0, backoff_mult=1.0, jitter=0.25)
+        rng = random.Random(123)
+        delays = [backoff_delay(policy, 2, rng) for _ in range(500)]
+        assert all(75.0 <= d <= 125.0 for d in delays)
+        # The envelope is actually used, not collapsed to a point.
+        assert max(delays) - min(delays) > 25.0
+
+    def test_zero_base_skips_rng_draw(self):
+        """Disabling backoff must not shift the retry RNG stream."""
+        policy = RetryPolicy(backoff_base_us=0.0, jitter=0.5)
+        rng = random.Random(42)
+        before = rng.getstate()
+        assert backoff_delay(policy, 2, rng) == 0.0
+        assert rng.getstate() == before
+
+    def test_determinism_per_seed(self):
+        policy = RetryPolicy(backoff_base_us=100.0, jitter=0.3)
+        a = [backoff_delay(policy, 2, random.Random(9)) for _ in range(1)]
+        b = [backoff_delay(policy, 2, random.Random(9)) for _ in range(1)]
+        assert a == b
+
+
+class TestResolve:
+    def test_clean_completion_passes_through(self):
+        h = Harness(RetryPolicy())
+        req = make_request()
+        assert h.coordinator.resolve(req) is True
+        assert not h.resubmitted and not h.failures and h.faults == 0
+
+    def test_failed_completion_is_retried_after_backoff(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base_us=100.0, jitter=0.0)
+        h = Harness(policy)
+        req = make_request()
+        req.failed = True
+        assert h.coordinator.resolve(req) is False
+        assert not h.resubmitted  # backoff pending, not immediate
+        h.sim.run()
+        assert len(h.resubmitted) == 1
+        when, retried = h.resubmitted[0]
+        assert when == 100.0
+        assert retried is req  # same object: submit_time preserved
+        assert retried.attempts == 2 and retried.failed is False
+        assert h.coordinator.stats.retries == 1
+        assert h.coordinator.stats.device_errors == 1
+        assert h.faults == 1
+
+    def test_attempts_are_bounded(self):
+        """max_attempts failures => delivered as failure, never retried again."""
+        policy = RetryPolicy(max_attempts=3, backoff_base_us=10.0, jitter=0.0)
+        h = Harness(policy)
+        req = make_request()
+        for _ in range(policy.max_attempts):
+            req.failed = True
+            assert h.coordinator.resolve(req) is False
+            h.sim.run()
+        assert len(h.resubmitted) == 2  # attempts 2 and 3
+        assert len(h.failures) == 1
+        assert h.failures[0][1] is req and req.failed is True
+        stats = h.coordinator.stats
+        assert stats.device_errors == 3
+        assert stats.retries == 2
+        assert stats.failures_delivered == 1
+        assert stats.backoff_us == 10.0 + 20.0
+
+    def test_no_retry_policy_delivers_first_failure(self):
+        h = Harness(RetryPolicy(max_attempts=1))
+        req = make_request()
+        req.failed = True
+        assert h.coordinator.resolve(req) is False
+        assert h.failures and not h.resubmitted
+
+
+class TestWatchdog:
+    POLICY = RetryPolicy(
+        max_attempts=2, backoff_base_us=50.0, jitter=0.0, timeout_us=1_000.0
+    )
+
+    def test_timeout_fires_on_stalled_request(self):
+        """An attempt that never completes is abandoned and retried."""
+        h = Harness(self.POLICY)
+        req = make_request()
+        h.coordinator.watch(req)
+        assert req.timeout_event is not None and req.timeout_event.active
+        h.sim.run()  # nothing ever completes req: the watchdog fires
+        assert req.abandoned is True
+        assert h.coordinator.stats.timeouts == 1
+        assert len(h.resubmitted) == 1
+        when, clone = h.resubmitted[0]
+        assert when == 1_000.0 + 50.0  # watchdog expiry + backoff
+        assert clone is not req and clone.attempts == 2
+        assert clone.submit_time == req.submit_time
+
+    def test_stale_completion_is_dropped(self):
+        """The abandoned original's late completion never reaches the app."""
+        h = Harness(self.POLICY)
+        req = make_request()
+        h.coordinator.watch(req)
+        h.sim.run_until(2_000.0)  # watchdog fired at t=1000
+        assert req.abandoned
+        assert h.coordinator.resolve(req) is False  # device finally answers
+        assert h.coordinator.stats.stale_completions == 1
+        assert not h.failures  # dropped silently, not delivered as failure
+
+    def test_completion_before_timeout_disarms_watchdog(self):
+        h = Harness(self.POLICY)
+        req = make_request()
+        h.coordinator.watch(req)
+        assert h.coordinator.resolve(req) is True
+        assert req.timeout_event is None
+        h.sim.run()  # the cancelled watchdog must not fire
+        assert h.coordinator.stats.timeouts == 0 and not h.resubmitted
+
+    def test_exhausted_timeout_delivers_failure_at_expiry(self):
+        h = Harness(self.POLICY)
+        req = make_request()
+        req.attempts = self.POLICY.max_attempts  # last attempt already
+        h.coordinator.watch(req)
+        h.sim.run()
+        assert len(h.failures) == 1
+        when, failed = h.failures[0]
+        assert when == 1_000.0  # at watchdog expiry, not device completion
+        assert failed is req and req.failed is True
+        assert req.complete_time == 1_000.0
+        assert h.coordinator.stats.failures_delivered == 1
+
+    def test_zero_timeout_disables_watchdog(self):
+        h = Harness(RetryPolicy(timeout_us=0.0))
+        req = make_request()
+        h.coordinator.watch(req)
+        assert req.timeout_event is None
+        assert h.sim.pending_events() == 0
