@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Which cgroup knob meets my tenant SLO, and configured how?
+
+The paper's Table I tells you *which* controller to reach for; this
+example shows the autotuner answering the follow-up question — *what do
+I write into the sysfs files* — for a concrete SLO.
+
+Part 1 tunes all five knobs at the mini effort level against the
+calibrated demo SLO (LC tenant p99 <= 100 us at full device speed,
+bandwidth >= 40 MiB/s, device >= 25% utilized) and prints the
+Table-I-style advisor report: the `isol-bench tune --mini` output,
+from Python.
+
+Part 2 tightens the SLO with the `parse_slo` grammar and re-tunes just
+the winning throttler: the stricter p99 ceiling raises the violation
+score on both sides, showing how much headroom the knob has left.
+
+Run:  python examples/autotune_slo.py
+
+(The ``__main__`` guard is required: the sweep executor fans scenarios
+over spawn-context worker processes, which re-import this module.)
+"""
+
+from repro.core.d6_autotune import evaluate_autotune, mini_settings
+from repro.exec import SweepExecutor
+from repro.tune import parse_slo
+
+
+def tune_all_knobs(executor: SweepExecutor):
+    print("Tuning all five knobs against the demo SLO (mini effort):")
+    report = evaluate_autotune(mini_settings(), executor=executor)
+    print(report.render())
+    print(f"\nsweep: {executor.stats}")
+    return report.recommended()
+
+
+def retune_tighter(executor: SweepExecutor, knob: str) -> None:
+    slo = parse_slo("/tenants/prio:p99<=60,bw>=40;util>=0.25")
+    print(f"\nRe-tuning {knob} under a tighter SLO ({slo.describe()}):")
+    settings = mini_settings()
+    settings.knobs = (knob,)
+    report = evaluate_autotune(settings, slo=slo, executor=executor)
+    row = report.recommended()
+    print(f"  settings : {row.settings}")
+    print(
+        f"  score    : {row.baseline.score.total:.3f} untuned "
+        f"-> {row.best.score.total:.3f} tuned"
+        f" ({'meets SLO' if row.best.score.meets_slo else 'best effort'})"
+    )
+
+
+if __name__ == "__main__":
+    with SweepExecutor(max_workers=2) as executor:
+        best = tune_all_knobs(executor)
+        print(
+            f"recommended: {best.knob} ({best.settings}) — "
+            f"SLO score {best.baseline.score.total:.3f} -> "
+            f"{best.best.score.total:.3f}"
+        )
+        retune_tighter(executor, best.knob)

@@ -7,6 +7,9 @@ Table I pipeline and the figure modules build lists of independent
 
 * consults the content-addressed :class:`~repro.exec.cache.ResultCache`
   (when attached) and only executes cache misses;
+* collapses content-identical scenarios within one sweep (same cache
+  key) onto a single execution, fanning the result back to every
+  submission slot -- tuner search loops re-propose candidates freely;
 * fans misses over a ``ProcessPoolExecutor`` (``max_workers`` defaults
   to ``os.cpu_count() - 1``; ``max_workers=1`` falls back to plain
   in-process execution -- the escape hatch for debugging and for
@@ -71,6 +74,9 @@ class SweepProgress:
     failed: int
     events_processed: int
     elapsed_seconds: float
+    #: Submissions satisfied by an identical in-sweep scenario (same
+    #: content-addressed key) instead of their own execution.
+    deduped: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -82,8 +88,9 @@ class SweepProgress:
         )
 
     def __str__(self) -> str:
+        deduped = f", {self.deduped} deduped" if self.deduped else ""
         return (
-            f"{self.done}/{self.total} done, {self.cached} cached, "
+            f"{self.done}/{self.total} done, {self.cached} cached{deduped}, "
             f"{self.events_per_sec:,.0f} events/sec aggregate"
         )
 
@@ -96,11 +103,12 @@ class ExecutorStats:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    deduped: int = 0
 
     def __str__(self) -> str:
         return (
             f"{self.sweeps} sweep(s): {self.executed} executed, "
-            f"{self.cached} cached, {self.failed} failed"
+            f"{self.cached} cached, {self.deduped} deduped, {self.failed} failed"
         )
 
 
@@ -174,15 +182,17 @@ class SweepExecutor:
         """Run a sweep; results come back in submission order.
 
         A failed scenario yields a :class:`SweepError` in its slot; the
-        other scenarios are unaffected. Scenarios with tracing enabled
-        bypass the cache (their :class:`~repro.obs.export.Trace`
-        artifact lives on the Host and cannot be replayed from a cached
-        summary).
+        other scenarios are unaffected. Content-identical scenarios
+        (same cache key) within one sweep execute once and the result is
+        fanned back to every submission slot (``deduped`` in stats).
+        Scenarios with tracing enabled bypass both the cache and the
+        dedup (their :class:`~repro.obs.export.Trace` artifact lives on
+        the Host and cannot be replayed from a shared summary).
         """
         total = len(scenarios)
         results: list[Union[ScenarioSummary, SweepError, None]] = [None] * total
         started = time.perf_counter()
-        cached = failed = done = 0
+        cached = failed = done = deduped = 0
         events = 0
 
         def emit() -> None:
@@ -195,43 +205,63 @@ class SweepExecutor:
                         failed=failed,
                         events_processed=events,
                         elapsed_seconds=time.perf_counter() - started,
+                        deduped=deduped,
                     )
                 )
 
-        # Phase 1: cache lookups.
+        # Phase 1: cache lookups and in-sweep dedup. Content-identical
+        # scenarios (same cache key -- search loops naturally re-propose
+        # candidates) collapse onto one *primary* execution; the other
+        # slots become followers and are filled from the primary's
+        # result. Traced scenarios keep their own run (their Trace
+        # artifact is not shareable), so they neither dedupe nor cache.
         keys: list[str | None] = [None] * total
         to_run: list[int] = []
+        primary_of_key: dict[str, int] = {}
+        followers: dict[int, list[int]] = {}
         for index, scenario in enumerate(scenarios):
-            if self.cache is not None and scenario.trace is None:
+            if scenario.trace is None:
                 key = scenario_key(scenario)
                 keys[index] = key
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[index] = hit
-                    cached += 1
-                    done += 1
-                    emit()
+                if self.cache is not None:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[index] = hit
+                        cached += 1
+                        done += 1
+                        emit()
+                        continue
+                primary = primary_of_key.get(key)
+                if primary is not None:
+                    followers.setdefault(primary, []).append(index)
                     continue
+                primary_of_key[key] = index
             to_run.append(index)
 
         # Phase 2: execute the misses.
         def record(index: int, payload) -> None:
-            nonlocal done, failed, events
+            nonlocal done, failed, events, deduped
+            fanout = [index, *followers.get(index, ())]
             if payload[0] == "ok":
                 summary = payload[1]
-                results[index] = summary
                 events += summary.events_processed
                 if self.cache is not None and keys[index] is not None:
                     self.cache.put(keys[index], summary)
+                for slot in fanout:
+                    results[slot] = summary
             else:
                 _, error, tb_text = payload
-                results[index] = SweepError(
-                    scenario_name=scenarios[index].name,
-                    error=error,
-                    traceback_text=tb_text,
-                )
+                for slot in fanout:
+                    results[slot] = SweepError(
+                        scenario_name=scenarios[slot].name,
+                        error=error,
+                        traceback_text=tb_text,
+                    )
+                # Only the primary actually executed and failed; its
+                # followers count as deduped (they hold the same error).
                 failed += 1
-            done += 1
+            done += len(fanout)
+            deduped += len(fanout) - 1
             emit()
 
         if self.max_workers == 1:
@@ -268,6 +298,8 @@ class SweepExecutor:
         self.stats.sweeps += 1
         self.stats.cached += cached
         self.stats.failed += failed
+        self.stats.deduped += deduped
+        # executed + failed == primaries run; + cached + deduped == total.
         self.stats.executed += len(to_run) - failed
         return results  # type: ignore[return-value]
 

@@ -148,17 +148,56 @@ class SsdModel:
         )
 
 
+#: The workload shapes a device description reports saturation for:
+#: (stable key, display label, op, pattern, request size). The key is
+#: the contract of ``describe-device --json`` and of
+#: :mod:`repro.tune.space`'s bound derivation; renaming one invalidates
+#: scripted consumers, so treat keys as API.
+DESCRIBE_CASES: tuple[tuple[str, str, OpType, Pattern, int], ...] = (
+    ("rand-read-4k", "4 KiB rand read", OpType.READ, Pattern.RANDOM, 4096),
+    ("rand-write-4k", "4 KiB rand write", OpType.WRITE, Pattern.RANDOM, 4096),
+    ("rand-read-64k", "64 KiB rand read", OpType.READ, Pattern.RANDOM, 65536),
+    ("seq-read-256k", "256 KiB seq read", OpType.READ, Pattern.SEQUENTIAL, 262144),
+)
+
+
+def describe_model_dict(model: SsdModel) -> dict:
+    """Machine-readable saturation document for one device model.
+
+    The single source of truth shared by ``isol-bench describe-device
+    --json`` and :mod:`repro.tune.space`'s parameter-bound derivation:
+    per-case nominal saturation IOPS/bandwidth plus the fixed access
+    costs a latency-valued knob bound starts from.
+    """
+    cases = {}
+    for key, label, op, pattern, size in DESCRIBE_CASES:
+        iops = model.saturation_iops(op, pattern, size)
+        cases[key] = {
+            "label": label,
+            "op": op.name.lower(),
+            "pattern": pattern.name.lower(),
+            "size_bytes": size,
+            "iops": iops,
+            "bandwidth_bps": iops * size,
+        }
+    return {
+        "name": model.name,
+        "parallelism": model.parallelism,
+        "nvme_max_qd": model.nvme_max_qd,
+        "read_fixed_us": model.read_fixed_us,
+        "write_fixed_us": model.write_fixed_us,
+        "gc_enabled": model.gc_enabled,
+        "cases": cases,
+    }
+
+
 def describe_model(model: SsdModel) -> str:
     """Human-readable summary of a model's nominal saturation points."""
+    doc = describe_model_dict(model)
     lines = [f"SSD model {model.name}:"]
-    cases = [
-        ("4 KiB rand read", OpType.READ, Pattern.RANDOM, 4096),
-        ("4 KiB rand write", OpType.WRITE, Pattern.RANDOM, 4096),
-        ("64 KiB rand read", OpType.READ, Pattern.RANDOM, 65536),
-        ("256 KiB seq read", OpType.READ, Pattern.SEQUENTIAL, 262144),
-    ]
-    for label, op, pattern, size in cases:
-        iops = model.saturation_iops(op, pattern, size)
-        bw = iops * size / GIB
-        lines.append(f"  {label:18s}: {iops / 1000.0:8.1f} KIOPS, {bw:6.2f} GiB/s")
+    for case in doc["cases"].values():
+        bw = case["bandwidth_bps"] / GIB
+        lines.append(
+            f"  {case['label']:18s}: {case['iops'] / 1000.0:8.1f} KIOPS, {bw:6.2f} GiB/s"
+        )
     return "\n".join(lines)

@@ -2,13 +2,14 @@
 
 Subcommands mirror the benchmark suite::
 
-    isol-bench describe-device [flash|optane]
+    isol-bench describe-device [flash|optane] [--json]
     isol-bench coef-gen [flash|optane]       # io.cost model generation
     isol-bench run --knob io.cost ...        # one ad-hoc scenario
     isol-bench run --faults gc-storm ...     # ... on a degraded device
     isol-bench trace --knob io.cost --out t.json   # traced run -> timeline
     isol-bench table1 [--quick] [--workers N] [--no-cache]  # Table I
     isol-bench d5 [--quick|--mini] [--faults a,b]  # robustness ranking
+    isol-bench tune --slo ... [--knob auto] [--budget N]  # SLO autotuner
     isol-bench cache stats|path|clear        # result-cache maintenance
 
 ``table1`` fans its scenario sweeps over worker processes and caches
@@ -41,14 +42,20 @@ from repro.obs import (
     write_samples_csv,
     write_spans_csv,
 )
-from repro.ssd.model import describe_model
+from repro.ssd.model import describe_model, describe_model_dict
 from repro.ssd.presets import get_preset
 from repro.tools.iocost_coef_gen import derive_model, format_model_line
 from repro.workloads.apps import batch_app, lc_app
 
 
 def _cmd_describe_device(args: argparse.Namespace) -> int:
-    print(describe_model(get_preset(args.device)))
+    model = get_preset(args.device)
+    if args.json:
+        import json
+
+        print(json.dumps(describe_model_dict(model), indent=2, sort_keys=True))
+    else:
+        print(describe_model(model))
     return 0
 
 
@@ -231,7 +238,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     # Machine-checkable summary (CI asserts executed=0 on a warm cache).
     print(
         f"sweep stats: executed={stats.executed} cached={stats.cached} "
-        f"failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
+        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
     )
     return 0
 
@@ -277,7 +284,63 @@ def _cmd_d5(args: argparse.Namespace) -> int:
         print(f"wrote ranking JSON: {args.json}")
     print(
         f"sweep stats: executed={stats.executed} cached={stats.cached} "
-        f"failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
+        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.d6_autotune import (
+        AutotuneSettings,
+        evaluate_autotune,
+        mini_settings,
+        quick_settings,
+        resolve_slo,
+    )
+    from repro.tune.advisor import write_decision_trace
+    from repro.tune.space import TUNABLE_KNOBS
+
+    if args.mini:
+        settings = mini_settings()
+    elif args.quick:
+        settings = quick_settings()
+    else:
+        settings = AutotuneSettings()
+    if args.knob != "auto":
+        names = tuple(name.strip() for name in args.knob.split(",") if name.strip())
+        unknown = set(names) - set(TUNABLE_KNOBS)
+        if unknown:
+            raise SystemExit(
+                f"unknown knob(s) {sorted(unknown)}; options: auto,{','.join(TUNABLE_KNOBS)}"
+            )
+        settings.knobs = names
+    if args.budget is not None:
+        settings.budget = args.budget
+    settings.strategy = args.strategy
+    if args.faults:
+        get_fault_plan(args.faults)  # fail fast on typos, with the options list
+        settings.fault_class = args.faults
+    slo = resolve_slo(args.slo)
+
+    with _build_executor(args) as executor:
+        report = evaluate_autotune(settings, slo=slo, executor=executor)
+        stats = executor.stats
+        cache_line = (
+            f", cache: {executor.cache.stats}" if executor.cache is not None else ""
+        )
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote advisor JSON: {args.json}")
+    if args.trace_out:
+        write_decision_trace(report, args.trace_out)
+        print(f"wrote decision trace: {args.trace_out}")
+    print(
+        f"sweep stats: executed={stats.executed} cached={stats.cached} "
+        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
     )
     return 0
 
@@ -320,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("describe-device", help="print a device preset's saturation points")
     p.add_argument("device", nargs="?", default="flash", choices=("flash", "optane"))
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable saturation document (the tune.space source of truth)",
+    )
     p.set_defaults(fn=_cmd_describe_device)
 
     p = sub.add_parser("coef-gen", help="generate an io.cost.model line")
@@ -376,6 +444,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also write the ranking as JSON")
     _add_executor_args(p)
     p.set_defaults(fn=_cmd_d5)
+
+    p = sub.add_parser(
+        "tune", help="search knob configurations against a tenant SLO"
+    )
+    p.add_argument(
+        "--slo",
+        default=None,
+        help="SLO spec, e.g. '/tenants/prio:p99<=100,bw>=40;util>=0.25' "
+        "(default: a calibrated demo SLO for the D5 workload)",
+    )
+    p.add_argument(
+        "--knob",
+        default="auto",
+        help="comma-separated knobs to search, or 'auto' for all five",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="evaluations per knob search"
+    )
+    p.add_argument(
+        "--strategy",
+        default="auto",
+        choices=("auto", "binary", "coordinate", "random", "grid"),
+        help="search strategy (auto: each knob's declared default)",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        choices=sorted(FAULT_CLASSES),
+        help="tune under a fault class (robustness-aware recommendations)",
+    )
+    p.add_argument("--quick", action="store_true", help="reduced effort level")
+    p.add_argument(
+        "--mini", action="store_true", help="smoke effort level (CI; seconds)"
+    )
+    p.add_argument("--json", default=None, help="also write the report as JSON")
+    p.add_argument(
+        "--trace-out", default=None, help="write the decision trace as JSONL"
+    )
+    _add_executor_args(p)
+    p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("stats", "path", "clear"))

@@ -1,0 +1,191 @@
+"""The configuration advisor: rank knobs against an SLO, Table-I style.
+
+:func:`advise` runs one search per candidate knob (each against its own
+:class:`~repro.tune.evaluator.TuneEvaluator`), scores every knob's
+*untuned default* as the "before" column, and assembles an
+:class:`AdvisorReport`: knobs ranked by tuned SLO-violation score, the
+winning configuration rendered as concrete sysfs-flavoured settings, and
+a machine-readable decision trace (every evaluation the searches
+performed, in obs-style self-describing JSONL) for post-hoc audit.
+
+This is the automated counterpart of the paper's hand-derived Table I:
+instead of "which knob satisfies which desiderata", the report answers
+"which knob -- configured how -- satisfies *your* SLO, and what did it
+cost the others".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.tune.evaluator import Evaluation
+from repro.tune.search import SearchOutcome, search
+from repro.tune.slo import SloSpec
+
+
+@dataclass
+class KnobAdvice:
+    """One knob's row in the advisor report: before, after, and how."""
+
+    #: Knob name (Table I row).
+    knob: str
+    #: Strategy that searched the knob's space.
+    strategy: str
+    #: SLO score of the untuned default configuration.
+    baseline: Evaluation
+    #: Best full-fidelity configuration the search found.
+    best: Evaluation
+    #: Sysfs-flavoured rendering of the best configuration.
+    settings: str
+    #: Every evaluation the search performed, in order.
+    evaluations: list[Evaluation] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        """True when tuning strictly reduced the SLO-violation score."""
+        return self.best.score.total < self.baseline.score.total
+
+    def to_json_dict(self) -> dict:
+        """Golden-friendly document for one knob row."""
+        return {
+            "knob": self.knob,
+            "strategy": self.strategy,
+            "baseline_score": self.baseline.score.to_json_dict(),
+            "tuned_score": self.best.score.to_json_dict(),
+            "best_label": self.best.label,
+            "best_values": dict(self.best.values),
+            "settings": self.settings,
+            "improved": self.improved,
+            "evaluations": len(self.evaluations),
+        }
+
+
+@dataclass
+class AdvisorReport:
+    """The full advisor result: ranked knob rows plus provenance."""
+
+    #: The SLO the knobs were tuned against, in ``parse_slo`` syntax.
+    slo: str
+    #: Per-search evaluation budget that produced the report.
+    budget: int
+    rows: list[KnobAdvice] = field(default_factory=list)
+
+    def rank(self) -> list[KnobAdvice]:
+        """Rows best-first: lowest tuned score, knob-name tie-break."""
+        return sorted(self.rows, key=lambda row: (row.best.score.total, row.knob))
+
+    def recommended(self) -> KnobAdvice:
+        """The winning row (the advisor's recommendation)."""
+        if not self.rows:
+            raise ValueError("advisor report has no rows")
+        return self.rank()[0]
+
+    def row(self, knob: str) -> KnobAdvice:
+        """The row for one knob name."""
+        for candidate in self.rows:
+            if candidate.knob == knob:
+                return candidate
+        raise KeyError(f"no advice for knob {knob!r}")
+
+    def render(self) -> str:
+        """The Table-I-style text report (the ``isol-bench tune`` output)."""
+        headers = ("rank", "knob", "strategy", "untuned", "tuned", "meets SLO", "best configuration")
+        rows = []
+        for position, row in enumerate(self.rank(), start=1):
+            rows.append(
+                (
+                    position,
+                    row.knob,
+                    row.strategy,
+                    f"{row.baseline.score.total:.3f}",
+                    f"{row.best.score.total:.3f}",
+                    "yes" if row.best.score.meets_slo else "no",
+                    row.best.label,
+                )
+            )
+        table = render_table(headers, rows, title=f"SLO: {self.slo}")
+        winner = self.recommended()
+        return (
+            f"{table}\n\n"
+            f"recommended: {winner.knob} ({winner.best.label})\n"
+            f"settings:    {winner.settings}"
+        )
+
+    def to_json_dict(self) -> dict:
+        """Golden-friendly document (insertion order is rank order)."""
+        return {
+            "slo": self.slo,
+            "budget": self.budget,
+            "ranking": [row.knob for row in self.rank()],
+            "recommended": self.recommended().knob,
+            "rows": {row.knob: row.to_json_dict() for row in self.rank()},
+        }
+
+
+def advise(
+    searches: list[tuple],
+    slo: SloSpec,
+    budget: int,
+    strategy: str = "auto",
+    seed: int = 42,
+) -> AdvisorReport:
+    """Search every (space, evaluator) pair and rank the knobs.
+
+    ``searches`` pairs each :class:`~repro.tune.space.KnobSpace` with
+    the :class:`~repro.tune.evaluator.TuneEvaluator` that runs its
+    candidates (one evaluator per space, so per-space evaluation logs
+    stay separable). The untuned-default baseline evaluation is *not*
+    counted against ``budget`` -- the budget buys search.
+    """
+    report = AdvisorReport(slo=slo.describe(), budget=budget)
+    for space, evaluator in searches:
+        baseline = evaluator.evaluate_knob(space.default_knob(), "default")
+        outcome: SearchOutcome = search(
+            space, evaluator, budget, strategy=strategy, seed=seed
+        )
+        report.rows.append(
+            KnobAdvice(
+                knob=space.name,
+                strategy=outcome.strategy,
+                baseline=baseline,
+                best=outcome.best,
+                settings=space.render_settings(outcome.best.values),
+                evaluations=list(outcome.evaluations),
+            )
+        )
+    return report
+
+
+def decision_trace_records(report: AdvisorReport) -> list[dict]:
+    """The report as obs-style self-describing records (``type`` field).
+
+    One ``advice`` record per knob followed by one ``evaluation`` record
+    per candidate the search tried, in evaluation order -- enough to
+    replay why the advisor picked what it picked.
+    """
+    records: list[dict] = [
+        {"type": "slo", "spec": report.slo, "budget": report.budget}
+    ]
+    for row in report.rank():
+        records.append({"type": "advice", **row.to_json_dict()})
+        for evaluation in row.evaluations:
+            records.append(
+                {
+                    "type": "evaluation",
+                    "knob": row.knob,
+                    "label": evaluation.label,
+                    "values": dict(evaluation.values),
+                    "fidelity": evaluation.fidelity,
+                    "score": evaluation.score.to_json_dict(),
+                }
+            )
+    return records
+
+
+def write_decision_trace(report: AdvisorReport, path: str) -> None:
+    """Write the decision trace as JSONL (obs export convention)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in decision_trace_records(report):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")

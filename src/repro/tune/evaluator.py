@@ -1,0 +1,141 @@
+"""Candidate evaluation: assignments -> scenarios -> SLO scores.
+
+:class:`TuneEvaluator` is the bridge between the search strategies and
+the simulator: it renders each candidate value assignment into a
+deterministic :class:`~repro.core.config.Scenario` (fixed workload,
+seed, effort level -- only the knob configuration varies), fans the
+whole batch through the sweep executor, and scores every summary
+against the SLO spec.
+
+Because the scenario is a pure function of the assignment, a re-proposed
+candidate renders the *same* scenario text: the executor's
+content-addressed cache and its in-sweep dedup collapse repeats to a
+single simulation for free, which is what makes iterative search loops
+affordable. With ``faults=`` set, every candidate runs under the given
+fault plan, so the search optimizes for robust isolation rather than
+fair-weather isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import KnobConfig, Scenario
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.exec.summary import ScenarioSummary
+from repro.faults.plan import FaultPlan
+from repro.ssd.model import SsdModel
+from repro.tune.slo import SloScore, SloSpec, score_summary
+from repro.tune.space import KnobSpace
+from repro.workloads.spec import JobSpec
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One scored candidate: assignment, effort level, and its score."""
+
+    #: The space's deterministic label for the assignment.
+    label: str
+    #: The normalized value assignment that was evaluated.
+    values: dict
+    #: Fraction of the full run duration this evaluation used (successive
+    #: halving runs early rungs at < 1.0; only 1.0 competes for "best").
+    fidelity: float
+    #: The SLO score of the run.
+    score: SloScore
+
+
+class TuneEvaluator:
+    """Renders, runs and scores candidate assignments for one space."""
+
+    def __init__(
+        self,
+        space: KnobSpace,
+        slo: SloSpec,
+        apps: list[JobSpec],
+        ssd: SsdModel,
+        device_scale: float,
+        duration_s: float,
+        warmup_s: float,
+        seed: int = 42,
+        cores: int = 10,
+        faults: FaultPlan | None = None,
+        executor: SweepExecutor | None = None,
+    ):
+        if duration_s <= 0 or not 0 <= warmup_s < duration_s:
+            raise ValueError("need duration_s > 0 and 0 <= warmup_s < duration_s")
+        self.space = space
+        self.slo = slo
+        self.apps = apps
+        self.ssd = ssd
+        self.device_scale = device_scale
+        self.duration_s = duration_s
+        self.warmup_s = warmup_s
+        self.seed = seed
+        self.cores = cores
+        self.faults = faults
+        self.executor = executor
+        #: Every evaluation performed, in order (the decision trace).
+        self.evaluations: list[Evaluation] = []
+        #: Scenario count handed to the executor (dedup/cache may run fewer).
+        self.scenarios_submitted = 0
+
+    def _scenario(self, knob: KnobConfig, label: str, fidelity: float) -> Scenario:
+        """The deterministic scenario for one (knob, fidelity) pair.
+
+        The name is a pure function of the assignment label and
+        fidelity, and every other field is fixed, so equal assignments
+        produce content-equal scenarios -- the executor's cache key
+        collapses them.
+        """
+        suffix = "" if fidelity == 1.0 else f"@f{fidelity:g}"
+        return Scenario(
+            name=f"tune-{self.space.name}-{label}{suffix}",
+            knob=knob,
+            apps=self.apps,
+            ssd_model=self.ssd,
+            cores=self.cores,
+            duration_s=self.duration_s * fidelity,
+            warmup_s=self.warmup_s * fidelity,
+            seed=self.seed,
+            device_scale=self.device_scale,
+            faults=self.faults,
+        )
+
+    def _score(self, summary: ScenarioSummary) -> SloScore:
+        """Score one summary against the evaluator's SLO spec."""
+        return score_summary(self.slo, summary, ssd=self.ssd)
+
+    def evaluate_values(
+        self, values_list: list[dict], fidelity: float = 1.0
+    ) -> list[Evaluation]:
+        """Evaluate a batch of assignments in one executor sweep."""
+        if not 0 < fidelity <= 1.0:
+            raise ValueError("fidelity must be in (0, 1]")
+        normalized = [self.space.normalize(values) for values in values_list]
+        labels = [self.space.label(values) for values in normalized]
+        scenarios = [
+            self._scenario(self.space.build(values), label, fidelity)
+            for values, label in zip(normalized, labels)
+        ]
+        self.scenarios_submitted += len(scenarios)
+        summaries = resolve_executor(self.executor).run_strict(scenarios)
+        evaluations = [
+            Evaluation(
+                label=label, values=values, fidelity=fidelity, score=self._score(summary)
+            )
+            for values, label, summary in zip(normalized, labels, summaries)
+        ]
+        self.evaluations.extend(evaluations)
+        return evaluations
+
+    def evaluate_knob(self, knob: KnobConfig, label: str) -> Evaluation:
+        """Score an explicit knob config (the untuned-default baseline)."""
+        scenario = self._scenario(knob, label, fidelity=1.0)
+        self.scenarios_submitted += 1
+        summary = resolve_executor(self.executor).run_one(scenario)
+        evaluation = Evaluation(
+            label=label, values={}, fidelity=1.0, score=self._score(summary)
+        )
+        self.evaluations.append(evaluation)
+        return evaluation

@@ -1,0 +1,253 @@
+"""Deterministic search strategies over knob parameter spaces.
+
+Three strategies, all deterministic given (space, evaluator, budget,
+seed) and all expressed against the same narrow evaluator surface --
+``evaluator.evaluate_values(values_list, fidelity=...)`` returning one
+:class:`~repro.tune.evaluator.Evaluation` per assignment:
+
+* :func:`binary_search` -- per-dimension bracketing driven by
+  :attr:`~repro.tune.slo.SloScore.needs_tightening`: a violated latency
+  ceiling moves the bracket toward the stricter half of the dimension,
+  anything else (bandwidth/utilization violations, or a fully met SLO)
+  moves it looser. The natural fit for the monotone control dials
+  (io.max fractions, io.latency targets).
+* :func:`coordinate_descent` -- cyclic one-dimension-at-a-time grid
+  refinement; each pass batch-evaluates a whole per-dimension grid in
+  one executor sweep. The fit for interacting dimensions (io.cost's
+  vrate/rlat/weight triple).
+* :func:`random_halving` -- seeded random sampling plus successive
+  halving: a wide low-fidelity rung (shortened runs) is culled by score
+  and survivors are re-run at full fidelity. Draws exclusively from a
+  dedicated :class:`~repro.sim.rng.RngStreams` stream
+  (``tune.search.<space>``), so it perturbs no other consumer of the
+  seed.
+* :func:`grid_search` -- exhaustive enumeration for small discrete
+  spaces (MQ-Deadline's class pairs).
+
+Batching matters: every strategy proposes as many candidates per round
+as it can so the evaluator's single ``run_strict`` call fans them over
+the sweep executor's workers, and re-proposed assignments collapse in
+the executor's dedup/cache layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.rng import RngStreams
+from repro.tune.evaluator import Evaluation
+from repro.tune.space import KnobSpace
+
+#: Strategy names accepted by :func:`search` (and the CLI's
+#: ``--strategy``); ``auto`` defers to the space's declared default.
+STRATEGIES = ("auto", "binary", "coordinate", "random", "grid")
+
+#: Successive-halving rung fidelities (fractions of full run duration),
+#: shortest first. The final rung is always full fidelity so the best
+#: candidate's score is comparable to the baseline's.
+HALVING_FIDELITIES = (0.25, 0.5, 1.0)
+
+
+@dataclass
+class SearchOutcome:
+    """What one strategy run found, with its full evaluation log."""
+
+    #: The space searched (knob name).
+    space: str
+    #: The strategy that produced the outcome.
+    strategy: str
+    #: Best full-fidelity assignment found.
+    best: Evaluation
+    #: Every evaluation performed, in evaluation order.
+    evaluations: list[Evaluation] = field(default_factory=list)
+
+
+def _better(a: Evaluation, b: Evaluation | None) -> bool:
+    """Strictly better: lower total, deterministic label tie-break."""
+    if b is None:
+        return True
+    return (a.score.total, a.label) < (b.score.total, b.label)
+
+
+def binary_search(space: KnobSpace, evaluator, budget: int) -> SearchOutcome:
+    """Per-dimension bracketing along each parameter's strictness axis.
+
+    Each ordered dimension gets an equal share of the budget. The
+    bracket starts at the full bounds; each midpoint evaluation halves
+    it toward the stricter side when latency objectives are violated
+    (``needs_tightening``) and toward the looser side otherwise --
+    chasing the tightest configuration that stops hurting latency
+    without giving up bandwidth. Unordered dimensions
+    (``stricter_low=None``) are pinned at their default.
+    """
+    params = space.parameters()
+    ordered = [p for p in params if p.stricter_low is not None]
+    if not ordered:
+        raise ValueError(
+            f"{space.name}: no ordered dimensions; use grid search instead"
+        )
+    values = dict(space.default_values())
+    outcome = SearchOutcome(space=space.name, strategy="binary", best=None)  # type: ignore[arg-type]
+    per_dim = max(1, budget // len(ordered))
+
+    for param in ordered:
+        lo, hi = param.lo, param.hi
+        for _ in range(per_dim):
+            mid = param.midpoint(lo, hi)
+            if mid in (lo, hi):  # integer bracket exhausted
+                break
+            candidate = space.normalize({**values, param.name: mid})
+            (evaluation,) = evaluator.evaluate_values([candidate])
+            outcome.evaluations.append(evaluation)
+            if _better(evaluation, outcome.best):
+                outcome.best = evaluation
+            if evaluation.score.needs_tightening:
+                # Latency still violated: move toward the stricter half.
+                if param.stricter_low:
+                    hi = mid
+                else:
+                    lo = mid
+            else:
+                # Latency met (or only bw/util hurt): try loosening.
+                if param.stricter_low:
+                    lo = mid
+                else:
+                    hi = mid
+        # Later dimensions refine around this dimension's best point.
+        if outcome.best is not None:
+            values = dict(outcome.best.values)
+
+    if outcome.best is None:
+        (evaluation,) = evaluator.evaluate_values([space.normalize(values)])
+        outcome.evaluations.append(evaluation)
+        outcome.best = evaluation
+    return outcome
+
+
+def coordinate_descent(
+    space: KnobSpace, evaluator, budget: int, points_per_dim: int = 4
+) -> SearchOutcome:
+    """Cyclic per-dimension grid refinement.
+
+    Each step fixes all dimensions but one, batch-evaluates a grid of
+    ``points_per_dim`` values along the free dimension in a single
+    executor sweep, and moves to the argmin (ties resolve to the
+    first/strictest grid point, keeping the walk deterministic).
+    Passes repeat until a full pass yields no improvement or the
+    budget runs out.
+    """
+    params = space.parameters()
+    values = dict(space.default_values())
+    outcome = SearchOutcome(space=space.name, strategy="coordinate", best=None)  # type: ignore[arg-type]
+    spent = 0
+
+    improved = True
+    while improved and spent < budget:
+        improved = False
+        for param in params:
+            remaining = budget - spent
+            if remaining <= 0:
+                break
+            grid = param.grid(min(points_per_dim, remaining))
+            candidates = [
+                space.normalize({**values, param.name: point}) for point in grid
+            ]
+            evaluations = evaluator.evaluate_values(candidates)
+            spent += len(evaluations)
+            outcome.evaluations.extend(evaluations)
+            for evaluation in evaluations:
+                if _better(evaluation, outcome.best):
+                    outcome.best = evaluation
+                    values = dict(evaluation.values)
+                    improved = True
+
+    if outcome.best is None:
+        (evaluation,) = evaluator.evaluate_values([space.normalize(values)])
+        outcome.evaluations.append(evaluation)
+        outcome.best = evaluation
+    return outcome
+
+
+def random_halving(
+    space: KnobSpace, evaluator, budget: int, seed: int = 42, eta: int = 2
+) -> SearchOutcome:
+    """Seeded random sampling + successive halving.
+
+    The initial cohort size is chosen so that running the halving
+    schedule (:data:`HALVING_FIDELITIES`, culling by ``1/eta`` per rung)
+    costs about ``budget`` evaluations. Candidates are drawn from the
+    dedicated ``tune.search.<space>`` RNG stream; survivors of each rung
+    are the lowest-scoring ``ceil(n/eta)`` (label tie-break). Only the
+    final full-fidelity rung competes for ``best``, so the reported
+    score is never a short-run artifact.
+    """
+    rng = RngStreams(seed).stream(f"tune.search.{space.name}")
+    params = space.parameters()
+    rungs = len(HALVING_FIDELITIES)
+    # cost(n0) = n0 * sum(eta^-i) evaluations across the schedule.
+    schedule_cost = sum(eta**-i for i in range(rungs))
+    n0 = max(eta ** (rungs - 1), int(budget / schedule_cost))
+
+    cohort = [
+        space.normalize({param.name: param.sample(rng) for param in params})
+        for _ in range(n0)
+    ]
+    outcome = SearchOutcome(space=space.name, strategy="random", best=None)  # type: ignore[arg-type]
+
+    for rung, fidelity in enumerate(HALVING_FIDELITIES):
+        evaluations = evaluator.evaluate_values(cohort, fidelity=fidelity)
+        outcome.evaluations.extend(evaluations)
+        ranked = sorted(evaluations, key=lambda e: (e.score.total, e.label))
+        if rung == rungs - 1:
+            for evaluation in ranked:
+                if _better(evaluation, outcome.best):
+                    outcome.best = evaluation
+            break
+        survivors = max(1, math.ceil(len(ranked) / eta))
+        cohort = [dict(evaluation.values) for evaluation in ranked[:survivors]]
+
+    return outcome
+
+
+def grid_search(space: KnobSpace, evaluator, budget: int) -> SearchOutcome:
+    """Exhaustive one-dimensional grid (discrete spaces).
+
+    Enumerates up to ``budget`` points of the first parameter's grid in
+    one batched sweep. Intended for small unordered spaces like
+    MQ-Deadline's class pairs, where every point is worth a look.
+    """
+    (param,) = space.parameters()
+    points = param.grid(int(param.hi - param.lo) + 1 if param.integer else budget)
+    if len(points) > budget:
+        points = points[:budget]
+    candidates = [space.normalize({param.name: point}) for point in points]
+    evaluations = evaluator.evaluate_values(candidates)
+    outcome = SearchOutcome(space=space.name, strategy="grid", best=None)  # type: ignore[arg-type]
+    outcome.evaluations.extend(evaluations)
+    for evaluation in evaluations:
+        if _better(evaluation, outcome.best):
+            outcome.best = evaluation
+    return outcome
+
+
+def search(
+    space: KnobSpace,
+    evaluator,
+    budget: int,
+    strategy: str = "auto",
+    seed: int = 42,
+) -> SearchOutcome:
+    """Run one strategy (or the space's default) over one space."""
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    resolved = space.default_strategy if strategy == "auto" else strategy
+    if resolved == "binary":
+        return binary_search(space, evaluator, budget)
+    if resolved == "coordinate":
+        return coordinate_descent(space, evaluator, budget)
+    if resolved == "random":
+        return random_halving(space, evaluator, budget, seed=seed)
+    if resolved == "grid":
+        return grid_search(space, evaluator, budget)
+    raise ValueError(f"unknown strategy {strategy!r}; options: {STRATEGIES}")

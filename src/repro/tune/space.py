@@ -1,0 +1,454 @@
+"""Per-knob parameter spaces with device-derived bounds.
+
+Each of the paper's five cgroup I/O-control knobs becomes a
+:class:`KnobSpace`: a handful of named :class:`Parameter` dimensions
+with bounds derived from the device's nominal saturation points (via
+:func:`~repro.ssd.model.describe_model_dict` -- the same document
+``isol-bench describe-device --json`` prints), plus a ``build`` method
+that turns a value assignment into the concrete
+:class:`~repro.core.config.KnobConfig` a scenario runs with.
+
+Two unit conventions keep the spaces portable across effort levels:
+
+* parameter values are *full-device-speed* and mostly dimensionless
+  (fractions of saturation, weights, full-speed microseconds);
+* ``build`` converts into the time-dilated sysfs numbers the scaled
+  device expects (caps against the scaled saturation point, latency
+  targets multiplied by ``device_scale``) -- mirroring how the D3/D4
+  modules configure the same knobs.
+
+Every space also knows its **untuned default**: the knob merely enabled
+but not configured (``IoMaxKnob()`` with no limits, ``BfqKnob()`` with
+default weights, ...). The advisor scores that default as the "before"
+column of its Table-I-style report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cgroups.knobs import IoCostQosParams
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    KnobConfig,
+    MqDeadlineKnob,
+)
+from repro.ssd.model import SsdModel, describe_model_dict
+
+#: The knobs the tuner can search, in Table I's order.
+TUNABLE_KNOBS = ("mq-deadline", "bfq", "io.max", "io.latency", "io.cost")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One searchable dimension of a knob's configuration space."""
+
+    name: str
+    lo: float
+    hi: float
+    #: Grid/sampling in log space (latency targets, weights).
+    log: bool = False
+    #: Values are rounded to integers before building a config.
+    integer: bool = False
+    #: True when *decreasing* the value strengthens I/O control (an
+    #: io.max cap, a latency target); False when increasing does (a
+    #: weight). The binary-search strategy brackets along this axis;
+    #: None marks an unordered dimension (discrete classes).
+    stricter_low: bool | None = True
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise ValueError(f"parameter {self.name}: need lo < hi, got [{self.lo}, {self.hi}]")
+        if self.log and self.lo <= 0:
+            raise ValueError(f"parameter {self.name}: log scale needs lo > 0")
+
+    def clamp(self, value: float) -> float:
+        """Clamp (and for integer parameters, round) into bounds."""
+        clamped = min(self.hi, max(self.lo, value))
+        return float(round(clamped)) if self.integer else clamped
+
+    def midpoint(self, lo: float, hi: float) -> float:
+        """The bracket midpoint, geometric on log-scaled dimensions."""
+        mid = math.sqrt(lo * hi) if self.log else (lo + hi) / 2.0
+        return self.clamp(mid)
+
+    def grid(self, points: int) -> list[float]:
+        """``points`` values spanning the bounds (log-aware, inclusive)."""
+        if points < 2:
+            return [self.clamp(self.hi)]
+        if self.log:
+            ratio = (self.hi / self.lo) ** (1.0 / (points - 1))
+            raw = [self.lo * ratio**i for i in range(points)]
+        else:
+            raw = [
+                self.lo + (self.hi - self.lo) * i / (points - 1) for i in range(points)
+            ]
+        values: list[float] = []
+        for value in (self.clamp(v) for v in raw):
+            if value not in values:  # integer rounding can collide
+                values.append(value)
+        return values
+
+    def sample(self, rng) -> float:
+        """Draw one value from the bounds using ``rng`` (log-aware)."""
+        unit = rng.random()
+        if self.log:
+            value = self.lo * (self.hi / self.lo) ** unit
+        else:
+            value = self.lo + (self.hi - self.lo) * unit
+        return self.clamp(value)
+
+
+class KnobSpace:
+    """Base class: a knob's searchable dimensions and config builder."""
+
+    #: Knob name as used by Table I / the CLI (e.g. ``io.max``).
+    name = "abstract"
+    #: The search strategy ``--strategy auto`` resolves to.
+    default_strategy = "binary"
+
+    def __init__(self, ssd: SsdModel, device_scale: float, priority_group: str, be_group: str):
+        if device_scale < 1:
+            raise ValueError("device_scale must be >= 1")
+        self.ssd = ssd
+        self.device_scale = device_scale
+        self.priority_group = priority_group
+        self.be_group = be_group
+        #: Saturation document bounds are derived from (the
+        #: ``describe-device --json`` source of truth).
+        self.device_doc = describe_model_dict(ssd)
+
+    # -- searchable surface --------------------------------------------
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The knob's searchable dimensions."""
+        raise NotImplementedError
+
+    def default_values(self) -> dict[str, float]:
+        """The search's starting assignment (the loosest sane point)."""
+        raise NotImplementedError
+
+    def build(self, values: dict[str, float]) -> KnobConfig:
+        """Concrete knob config for one value assignment."""
+        raise NotImplementedError
+
+    def default_knob(self) -> KnobConfig:
+        """The untuned default: knob enabled, nothing configured."""
+        raise NotImplementedError
+
+    # -- bookkeeping ----------------------------------------------------
+    def normalize(self, values: dict[str, float]) -> dict[str, float]:
+        """Clamp an assignment into bounds, in declared parameter order."""
+        params = {p.name: p for p in self.parameters()}
+        unknown = set(values) - set(params)
+        if unknown:
+            raise KeyError(f"{self.name}: unknown parameters {sorted(unknown)}")
+        missing = set(params) - set(values)
+        if missing:
+            raise KeyError(f"{self.name}: missing parameters {sorted(missing)}")
+        return {name: params[name].clamp(values[name]) for name in params}
+
+    def label(self, values: dict[str, float]) -> str:
+        """Deterministic short label for one assignment.
+
+        The label doubles as the scenario-name suffix, so identical
+        assignments proposed twice render identical scenarios and the
+        executor's dedup/cache collapses them to a single run.
+        """
+        parts = []
+        for param in self.parameters():
+            value = values[param.name]
+            rendered = f"{int(value)}" if param.integer else f"{value:.6g}"
+            parts.append(f"{param.name}={rendered}")
+        return ",".join(parts)
+
+    def render_settings(self, values: dict[str, float]) -> str:
+        """Sysfs-flavoured one-liner of the recommended configuration."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------
+    def _scaled_case(self, key: str) -> dict:
+        """A saturation case of the *scaled* device (time dilation)."""
+        case = dict(self.device_doc["cases"][key])
+        case["iops"] = case["iops"] / self.device_scale
+        case["bandwidth_bps"] = case["bandwidth_bps"] / self.device_scale
+        return case
+
+
+class IoMaxSpace(KnobSpace):
+    """io.max: static rd/wr bandwidth + IOPS caps on the BE group.
+
+    Both dimensions are fractions of the device's nominal 4 KiB
+    random saturation point (read caps against the read point, write
+    caps against the write point), so one assignment is meaningful on
+    any device preset. Lower fraction = stricter.
+    """
+
+    name = "io.max"
+    default_strategy = "binary"
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        """``bps_fraction`` and ``iops_fraction``, each in [0.05, 1]."""
+        return (
+            Parameter("bps_fraction", 0.05, 1.0, stricter_low=True),
+            Parameter("iops_fraction", 0.05, 1.0, stricter_low=True),
+        )
+
+    def default_values(self) -> dict[str, float]:
+        """Caps at 100% of saturation (present but not binding)."""
+        return {"bps_fraction": 1.0, "iops_fraction": 1.0}
+
+    def _limits(self, values: dict[str, float]) -> dict[str, float]:
+        """Scaled-unit rbps/wbps/riops/wiops caps for the BE group."""
+        read = self._scaled_case("rand-read-4k")
+        write = self._scaled_case("rand-write-4k")
+        return {
+            "rbps": values["bps_fraction"] * read["bandwidth_bps"],
+            "wbps": values["bps_fraction"] * write["bandwidth_bps"],
+            "riops": values["iops_fraction"] * read["iops"],
+            "wiops": values["iops_fraction"] * write["iops"],
+        }
+
+    def build(self, values: dict[str, float]) -> KnobConfig:
+        """An :class:`IoMaxKnob` capping the BE group."""
+        return IoMaxKnob(limits={self.be_group: self._limits(values)})
+
+    def default_knob(self) -> KnobConfig:
+        """io.max with no limits written."""
+        return IoMaxKnob()
+
+    def render_settings(self, values: dict[str, float]) -> str:
+        """``io.max`` line for the BE group, scaled-device units."""
+        limits = self._limits(values)
+        rendered = " ".join(f"{k}={int(v)}" for k, v in sorted(limits.items()))
+        return f"{self.be_group} io.max: {rendered}"
+
+
+class IoLatencySpace(KnobSpace):
+    """io.latency: the priority group's latency target.
+
+    Bounds run from just under the device's isolated random-read cost
+    (persistently violated -> maximum protection) up to 20x it (never
+    violated -> no control), log-spaced. Lower target = stricter.
+    """
+
+    name = "io.latency"
+    default_strategy = "binary"
+
+    def _floor_us(self) -> float:
+        """Lowest meaningful target: just under the read service time."""
+        return self.device_doc["read_fixed_us"] * 0.9
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        """``target_us`` in full-speed microseconds, log-spaced."""
+        floor = self._floor_us()
+        return (Parameter("target_us", floor, floor * 20.0, log=True, stricter_low=True),)
+
+    def default_values(self) -> dict[str, float]:
+        """The loosest target (no control pressure)."""
+        return {"target_us": self._floor_us() * 20.0}
+
+    def build(self, values: dict[str, float]) -> KnobConfig:
+        """An :class:`IoLatencyKnob` targeting the priority group."""
+        return IoLatencyKnob(
+            targets_us={self.priority_group: values["target_us"] * self.device_scale}
+        )
+
+    def default_knob(self) -> KnobConfig:
+        """io.latency with no targets written."""
+        return IoLatencyKnob()
+
+    def render_settings(self, values: dict[str, float]) -> str:
+        """``io.latency`` line for the priority group (scaled target)."""
+        target = values["target_us"] * self.device_scale
+        return f"{self.priority_group} io.latency: target={target:g}"
+
+
+class BfqSpace(KnobSpace):
+    """BFQ: the priority group's io.bfq.weight (BE pinned at 100).
+
+    Higher weight = stricter prioritization, so ``stricter_low`` is
+    False. Searched in log space over the kernel's full 1-1000 range.
+    """
+
+    name = "bfq"
+    default_strategy = "binary"
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        """``prio_weight`` in the kernel's [1, 1000] range."""
+        return (Parameter("prio_weight", 1, 1000, log=True, integer=True, stricter_low=False),)
+
+    def default_values(self) -> dict[str, float]:
+        """The kernel default weight (100): no relative priority."""
+        return {"prio_weight": 100.0}
+
+    def build(self, values: dict[str, float]) -> KnobConfig:
+        """A :class:`BfqKnob` weighting priority vs BE."""
+        return BfqKnob(
+            weights={self.priority_group: int(values["prio_weight"]), self.be_group: 100}
+        )
+
+    def default_knob(self) -> KnobConfig:
+        """BFQ scheduling with default weights everywhere."""
+        return BfqKnob()
+
+    def render_settings(self, values: dict[str, float]) -> str:
+        """``io.bfq.weight`` lines for both groups."""
+        return (
+            f"{self.priority_group} io.bfq.weight: {int(values['prio_weight'])}; "
+            f"{self.be_group} io.bfq.weight: 100"
+        )
+
+
+#: MQ-Deadline's discrete configuration space: every (priority, BE)
+#: io.prio.class pair, ordered deterministically.
+MQ_CLASS_PAIRS: tuple[tuple[str, str], ...] = tuple(
+    (prio, be)
+    for prio in ("realtime", "best-effort", "idle")
+    for be in ("realtime", "best-effort", "idle")
+)
+
+
+class MqDeadlineSpace(KnobSpace):
+    """MQ-Deadline: the (priority, BE) io.prio.class pair.
+
+    The space is discrete and unordered (an index into
+    :data:`MQ_CLASS_PAIRS`), so ``--strategy auto`` enumerates it
+    exhaustively instead of bracketing.
+    """
+
+    name = "mq-deadline"
+    default_strategy = "grid"
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        """``class_pair`` indexing :data:`MQ_CLASS_PAIRS`."""
+        return (
+            Parameter(
+                "class_pair", 0, len(MQ_CLASS_PAIRS) - 1, integer=True, stricter_low=None
+            ),
+        )
+
+    def default_values(self) -> dict[str, float]:
+        """Both groups best-effort (the kernel's effective default)."""
+        return {"class_pair": float(MQ_CLASS_PAIRS.index(("best-effort", "best-effort")))}
+
+    def build(self, values: dict[str, float]) -> KnobConfig:
+        """An :class:`MqDeadlineKnob` with the indexed class pair."""
+        prio_cls, be_cls = MQ_CLASS_PAIRS[int(values["class_pair"])]
+        return MqDeadlineKnob(
+            classes={self.priority_group: prio_cls, self.be_group: be_cls}
+        )
+
+    def default_knob(self) -> KnobConfig:
+        """MQ-Deadline active but no io.prio.class written."""
+        return MqDeadlineKnob()
+
+    def label(self, values: dict[str, float]) -> str:
+        """Readable class names instead of the raw index."""
+        prio_cls, be_cls = MQ_CLASS_PAIRS[int(values["class_pair"])]
+        return f"prio={prio_cls},be={be_cls}"
+
+    def render_settings(self, values: dict[str, float]) -> str:
+        """``io.prio.class`` lines for both groups."""
+        prio_cls, be_cls = MQ_CLASS_PAIRS[int(values["class_pair"])]
+        return (
+            f"{self.priority_group} io.prio.class: {prio_cls}; "
+            f"{self.be_group} io.prio.class: {be_cls}"
+        )
+
+
+class IoCostSpace(KnobSpace):
+    """io.cost: vrate window, QoS read-latency target, priority weight.
+
+    The paper's Q9 recipe: ``vrate_pct`` pins ``min=max`` (the
+    utilization dial), ``rlat_us`` sets the p99 read-latency congestion
+    signal, and ``prio_weight`` divides the resulting budget. Three
+    interacting dimensions -> coordinate descent by default.
+    """
+
+    name = "io.cost"
+    default_strategy = "coordinate"
+
+    def _rlat_bounds(self) -> tuple[float, float]:
+        """Full-speed rlat_us bounds anchored to the read service time."""
+        floor = self.device_doc["read_fixed_us"] * 0.9
+        return floor, floor * 20.0
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        """``prio_weight`` (log), ``rlat_us`` (log) and ``vrate_pct``.
+
+        Declared in impact order -- coordinate descent walks dimensions
+        in declaration order, so under a small budget the weight split
+        (the knob's main lever for this workload) is explored before
+        the QoS signal and the vrate window refine it.
+        """
+        rlat_lo, rlat_hi = self._rlat_bounds()
+        return (
+            Parameter("prio_weight", 100, 10000, log=True, integer=True, stricter_low=False),
+            Parameter("rlat_us", rlat_lo, rlat_hi, log=True, stricter_low=True),
+            Parameter("vrate_pct", 20.0, 100.0, stricter_low=True),
+        )
+
+    def default_values(self) -> dict[str, float]:
+        """Full vrate, loosest latency signal, default weight."""
+        _, rlat_hi = self._rlat_bounds()
+        return {"vrate_pct": 100.0, "rlat_us": rlat_hi, "prio_weight": 100.0}
+
+    def build(self, values: dict[str, float]) -> KnobConfig:
+        """An :class:`IoCostKnob` with pinned vrate and p99 rlat QoS."""
+        vrate = values["vrate_pct"]
+        return IoCostKnob(
+            weights={self.priority_group: int(values["prio_weight"]), self.be_group: 100},
+            qos=IoCostQosParams(
+                enable=True,
+                ctrl="user",
+                rpct=99.0,
+                rlat_us=values["rlat_us"] * self.device_scale,
+                vrate_min_pct=vrate,
+                vrate_max_pct=vrate,
+            ),
+        )
+
+    def default_knob(self) -> KnobConfig:
+        """io.cost enabled with its default QoS and no weights."""
+        return IoCostKnob()
+
+    def render_settings(self, values: dict[str, float]) -> str:
+        """``io.cost.qos`` + ``io.weight`` one-liner (scaled rlat)."""
+        vrate = values["vrate_pct"]
+        rlat = values["rlat_us"] * self.device_scale
+        return (
+            f"io.cost.qos: rpct=99 rlat={rlat:g} min={vrate:g} max={vrate:g}; "
+            f"{self.priority_group} io.weight: {int(values['prio_weight'])}; "
+            f"{self.be_group} io.weight: 100"
+        )
+
+
+#: Registry mapping knob names to their space classes.
+SPACE_CLASSES: dict[str, type[KnobSpace]] = {
+    "mq-deadline": MqDeadlineSpace,
+    "bfq": BfqSpace,
+    "io.max": IoMaxSpace,
+    "io.latency": IoLatencySpace,
+    "io.cost": IoCostSpace,
+}
+
+
+def build_space(
+    knob_name: str,
+    ssd: SsdModel,
+    device_scale: float = 1.0,
+    priority_group: str = "/tenants/prio",
+    be_group: str = "/tenants/be",
+) -> KnobSpace:
+    """Instantiate the parameter space for one knob on one device."""
+    try:
+        cls = SPACE_CLASSES[knob_name]
+    except KeyError:
+        raise KeyError(
+            f"no parameter space for knob {knob_name!r}; options: {sorted(SPACE_CLASSES)}"
+        ) from None
+    return cls(ssd, device_scale, priority_group, be_group)

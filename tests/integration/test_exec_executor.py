@@ -8,7 +8,9 @@ The headline guarantees:
 * a raising scenario becomes a SweepError carrying the worker's
   traceback text while the rest of the sweep completes;
 * a poisoned cache entry is a miss (recompute), never a crash;
-* a warm cache executes zero scenarios.
+* a warm cache executes zero scenarios;
+* content-identical scenarios within one sweep execute once, with the
+  result fanned back to every submission slot.
 """
 
 import gzip
@@ -195,6 +197,60 @@ class TestCaching:
             assert pool.stats.executed == 2
             assert pool.stats.cached == 0
         assert cache.entries() == []
+
+
+class TestInSweepDedup:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_identical_scenarios_execute_once(self, workers):
+        same_a = tiny_scenario("dup", seed=7)
+        same_b = tiny_scenario("dup", seed=7)
+        other = tiny_scenario("solo", seed=8)
+        with SweepExecutor(max_workers=workers) as pool:
+            results = pool.run_strict([same_a, other, same_b, same_a])
+            assert pool.stats.executed == 2
+            assert pool.stats.deduped == 2
+        # Followers receive the primary's summary, in submission order.
+        assert results[0] is results[2] is results[3]
+        assert results[1].scenario_name == "solo"
+
+    def test_dedup_composes_with_cache(self, tmp_path):
+        scenario = tiny_scenario("dup-cached")
+        cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(max_workers=1, cache=cache) as pool:
+            pool.run_strict([scenario, scenario])
+            assert (pool.stats.executed, pool.stats.deduped) == (1, 1)
+            pool.run_strict([scenario, scenario])
+            # Warm: both slots are cache hits, nothing left to dedupe.
+            assert pool.stats.executed == 1
+            assert pool.stats.cached == 2
+            assert pool.stats.deduped == 1
+        assert len(cache.entries()) == 1
+
+    def test_failed_primary_fans_error_to_followers(self):
+        bad = raising_scenario("dup-boom")
+        with SweepExecutor(max_workers=1) as pool:
+            results = pool.run([bad, bad])
+            # One real execution failed; its follower holds the same error.
+            assert pool.stats.failed == 1
+            assert pool.stats.deduped == 1
+        assert all(isinstance(item, SweepError) for item in results)
+        assert results[0].traceback_text == results[1].traceback_text
+
+    def test_traced_scenarios_are_never_deduped(self):
+        traced = tiny_scenario("dup-traced", trace=TraceConfig(sample_period_us=0.0))
+        with SweepExecutor(max_workers=1) as pool:
+            results = pool.run_strict([traced, traced])
+            assert pool.stats.executed == 2
+            assert pool.stats.deduped == 0
+        assert results[0] is not results[1]
+
+    def test_progress_reports_deduped(self):
+        scenario = tiny_scenario("dup-prog")
+        ticks = []
+        with SweepExecutor(max_workers=1, progress=ticks.append) as pool:
+            pool.run_strict([scenario, scenario])
+        assert ticks[-1].deduped == 1
+        assert "1 deduped" in str(ticks[-1])
 
 
 class TestProgress:

@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the tuner's binary search.
+
+The io.max space is the canonical monotone dial: above some unknown
+threshold fraction the latency SLO is violated (control must tighten),
+below it only bandwidth suffers (control should loosen). Against *any*
+such threshold objective, per-dimension binary search must converge on
+the threshold at the bisection rate and never evaluate out of bounds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.presets import samsung_980pro_like
+from repro.tune.evaluator import Evaluation
+from repro.tune.search import binary_search
+from repro.tune.slo import SloScore, SloTerm
+from repro.tune.space import build_space
+
+
+def threshold_score(x: float, threshold: float) -> SloScore:
+    """Latency violated above the threshold, bandwidth hurt below it."""
+    lat = max(0.0, x - threshold)
+    bw = max(0.0, (threshold - x) * 0.5)
+    return SloScore(
+        terms=(
+            SloTerm("p99", "/t", 100.0, 100.0 * (1 + lat), lat),
+            SloTerm("bandwidth", "/t", 40.0, 40.0 * (1 - bw), bw),
+        )
+    )
+
+
+class ThresholdEvaluator:
+    """Scores ``bps_fraction`` against a step threshold, recording calls."""
+
+    def __init__(self, space, threshold: float):
+        self.space = space
+        self.threshold = threshold
+        self.seen: list[float] = []
+
+    def evaluate_values(self, values_list, fidelity=1.0):
+        out = []
+        for values in values_list:
+            normalized = self.space.normalize(values)
+            x = normalized["bps_fraction"]
+            self.seen.append(x)
+            out.append(
+                Evaluation(
+                    label=self.space.label(normalized),
+                    values=normalized,
+                    fidelity=fidelity,
+                    score=threshold_score(x, self.threshold),
+                )
+            )
+        return out
+
+
+thresholds = st.floats(min_value=0.06, max_value=0.99, allow_nan=False)
+
+
+class TestBinarySearchConvergence:
+    @given(thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_converges_at_the_bisection_rate(self, threshold):
+        space = build_space("io.max", samsung_980pro_like(), device_scale=8.0)
+        budget = 20  # 10 iterations per dimension
+        evaluator = ThresholdEvaluator(space, threshold)
+        outcome = binary_search(space, evaluator, budget=budget)
+        iters = budget // len(space.parameters())
+        # The bps bracket starts at [0.05, 1.0] and halves every
+        # iteration, so the best point is within the final bracket width
+        # of the threshold.
+        width = (1.0 - 0.05) / 2**iters
+        assert abs(outcome.best.values["bps_fraction"] - threshold) <= width * 2
+
+    @given(thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_midpoints_stay_in_bounds_and_bracket_monotonically(self, threshold):
+        space = build_space("io.max", samsung_980pro_like(), device_scale=8.0)
+        evaluator = ThresholdEvaluator(space, threshold)
+        binary_search(space, evaluator, budget=12)
+        assert all(0.05 <= x <= 1.0 for x in evaluator.seen)
+        # Bisection: successive midpoints of the bps dimension move by
+        # exactly half the previous step (the bracket halves each time).
+        bps = evaluator.seen[:6]
+        steps = [abs(b - a) for a, b in zip(bps, bps[1:])]
+        for prev, nxt in zip(steps, steps[1:]):
+            assert nxt <= prev / 2 + 1e-12
+
+    @given(thresholds, thresholds)
+    @settings(max_examples=30, deadline=None)
+    def test_tighter_threshold_never_yields_looser_recommendation(self, t1, t2):
+        lo, hi = sorted((t1, t2))
+        space = build_space("io.max", samsung_980pro_like(), device_scale=8.0)
+        best_lo = binary_search(space, ThresholdEvaluator(space, lo), 16).best
+        best_hi = binary_search(space, ThresholdEvaluator(space, hi), 16).best
+        assert best_lo.values["bps_fraction"] <= best_hi.values["bps_fraction"] + 1e-9

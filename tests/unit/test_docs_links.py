@@ -80,9 +80,11 @@ def test_doc_files_present() -> None:
         "docs/README.md",
         "docs/architecture.md",
         "docs/faults.md",
+        "docs/tuning.md",
         "docs/api/obs.md",
         "docs/api/exec.md",
         "docs/api/faults.md",
+        "docs/api/tune.md",
         "README.md",
         "EXPERIMENTS.md",
     ):

@@ -82,6 +82,29 @@ class TestCli:
         assert main(["describe-device", "flash"]) == 0
         assert "GiB/s" in capsys.readouterr().out
 
+    def test_describe_device_json_matches_model_dict(self, capsys):
+        import json
+
+        from repro.ssd.model import describe_model_dict
+        from repro.ssd.presets import get_preset
+
+        assert main(["describe-device", "flash", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # The CLI document IS the tune.space source of truth.
+        assert doc == describe_model_dict(get_preset("flash"))
+        assert set(doc["cases"]) == {
+            "rand-read-4k",
+            "rand-write-4k",
+            "rand-read-64k",
+            "seq-read-256k",
+        }
+        case = doc["cases"]["rand-read-4k"]
+        assert case["bandwidth_bps"] == case["iops"] * case["size_bytes"]
+
+    def test_tune_unknown_knob(self):
+        with pytest.raises(SystemExit, match="unknown knob"):
+            main(["tune", "--mini", "--knob", "io.imaginary"])
+
     def test_coef_gen(self, capsys):
         assert main(["coef-gen", "optane"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Unit tests for the search strategies, against synthetic evaluators.
+
+The strategies only touch ``evaluator.evaluate_values``, so these tests
+drive them with a fake evaluator built around an arbitrary objective
+function -- no simulator runs involved.
+"""
+
+import pytest
+
+from repro.ssd.presets import samsung_980pro_like
+from repro.tune.evaluator import Evaluation
+from repro.tune.search import (
+    binary_search,
+    coordinate_descent,
+    grid_search,
+    random_halving,
+    search,
+)
+from repro.tune.slo import SloScore, SloTerm
+from repro.tune.space import build_space
+
+
+def make_score(latency_violation: float, bandwidth_violation: float = 0.0) -> SloScore:
+    terms = (
+        SloTerm("p99", "/t/prio", 100.0, 100.0 * (1 + latency_violation), latency_violation),
+        SloTerm("bandwidth", "/t/prio", 40.0, 40.0 * (1 - bandwidth_violation), bandwidth_violation),
+    )
+    return SloScore(terms=terms)
+
+
+class FakeEvaluator:
+    """Duck-typed evaluator: scores assignments with a pure function."""
+
+    def __init__(self, space, objective):
+        self.space = space
+        self.objective = objective
+        self.calls = 0
+        self.batches = []
+
+    def evaluate_values(self, values_list, fidelity=1.0):
+        self.batches.append(len(values_list))
+        out = []
+        for values in values_list:
+            self.calls += 1
+            normalized = self.space.normalize(values)
+            out.append(
+                Evaluation(
+                    label=self.space.label(normalized),
+                    values=normalized,
+                    fidelity=fidelity,
+                    score=self.objective(normalized),
+                )
+            )
+        return out
+
+
+def iomax_space():
+    return build_space("io.max", samsung_980pro_like(), device_scale=8.0)
+
+
+def threshold_objective(threshold: float):
+    """Latency violated above ``threshold`` on bps_fraction, bw hurt below.
+
+    The synthetic analogue of an io.max cap: too loose -> latency SLO
+    violated (tighten), too tight -> bandwidth SLO violated (loosen).
+    """
+
+    def objective(values):
+        x = values["bps_fraction"]
+        if x > threshold:
+            return make_score(latency_violation=x - threshold)
+        return make_score(0.0, bandwidth_violation=(threshold - x) * 0.5)
+
+    return objective
+
+
+class TestBinarySearch:
+    def test_converges_to_the_threshold(self):
+        space = iomax_space()
+        evaluator = FakeEvaluator(space, threshold_objective(0.4))
+        outcome = binary_search(space, evaluator, budget=16)
+        assert outcome.best.values["bps_fraction"] == pytest.approx(0.4, abs=0.05)
+        assert evaluator.calls <= 16
+
+    def test_bracket_halves_toward_stricter_on_latency_violation(self):
+        space = iomax_space()
+        # Latency always violated: every midpoint must move strictly lower.
+        evaluator = FakeEvaluator(space, lambda v: make_score(1.0))
+        outcome = binary_search(space, evaluator, budget=8)
+        per_dim = [
+            e.values["bps_fraction"]
+            for e in outcome.evaluations
+            if e.values["iops_fraction"] == 1.0
+        ]
+        assert per_dim == sorted(per_dim, reverse=True)
+
+    def test_deterministic(self):
+        space = iomax_space()
+        a = binary_search(space, FakeEvaluator(space, threshold_objective(0.3)), 10)
+        b = binary_search(space, FakeEvaluator(space, threshold_objective(0.3)), 10)
+        assert a.best.label == b.best.label
+        assert [e.label for e in a.evaluations] == [e.label for e in b.evaluations]
+
+    def test_unordered_space_rejected(self):
+        space = build_space("mq-deadline", samsung_980pro_like())
+        with pytest.raises(ValueError, match="no ordered dimensions"):
+            binary_search(space, FakeEvaluator(space, lambda v: make_score(0.0)), 4)
+
+
+class TestCoordinateDescent:
+    def test_batches_one_grid_per_dimension(self):
+        space = build_space("io.cost", samsung_980pro_like())
+        evaluator = FakeEvaluator(space, lambda v: make_score(0.0))
+        coordinate_descent(space, evaluator, budget=12, points_per_dim=4)
+        assert evaluator.batches[0] == 4  # the whole first grid in one sweep
+
+    def test_respects_budget(self):
+        space = build_space("io.cost", samsung_980pro_like())
+        evaluator = FakeEvaluator(space, lambda v: make_score(v["prio_weight"] / 1e4))
+        outcome = coordinate_descent(space, evaluator, budget=7, points_per_dim=4)
+        assert evaluator.calls <= 7 + 3  # one final grid may straddle the cap
+        assert outcome.best is not None
+
+    def test_finds_the_best_grid_point(self):
+        space = iomax_space()
+        evaluator = FakeEvaluator(space, threshold_objective(0.68))
+        outcome = coordinate_descent(space, evaluator, budget=16, points_per_dim=5)
+        # 5-point grid on [0.05, 1.0] lands nearest the threshold at 0.525.
+        assert outcome.best.values["bps_fraction"] == pytest.approx(0.525, abs=0.3)
+        assert outcome.best.score.total <= outcome.evaluations[0].score.total
+
+
+class TestRandomHalving:
+    def test_deterministic_given_seed(self):
+        space = iomax_space()
+        a = random_halving(space, FakeEvaluator(space, threshold_objective(0.5)), 12, seed=3)
+        b = random_halving(space, FakeEvaluator(space, threshold_objective(0.5)), 12, seed=3)
+        assert [e.label for e in a.evaluations] == [e.label for e in b.evaluations]
+        assert a.best.label == b.best.label
+
+    def test_different_seeds_sample_differently(self):
+        space = iomax_space()
+        a = random_halving(space, FakeEvaluator(space, threshold_objective(0.5)), 12, seed=3)
+        b = random_halving(space, FakeEvaluator(space, threshold_objective(0.5)), 12, seed=4)
+        assert [e.label for e in a.evaluations] != [e.label for e in b.evaluations]
+
+    def test_rungs_escalate_fidelity_and_cull(self):
+        space = iomax_space()
+        evaluator = FakeEvaluator(space, threshold_objective(0.5))
+        outcome = random_halving(space, evaluator, budget=14, seed=1)
+        fidelities = sorted({e.fidelity for e in outcome.evaluations})
+        assert fidelities == [0.25, 0.5, 1.0]
+        assert evaluator.batches == sorted(evaluator.batches, reverse=True)
+        assert outcome.best.fidelity == 1.0
+
+
+class TestGridSearch:
+    def test_enumerates_discrete_space(self):
+        space = build_space("mq-deadline", samsung_980pro_like())
+        evaluator = FakeEvaluator(space, lambda v: make_score(v["class_pair"] * 0.1))
+        outcome = grid_search(space, evaluator, budget=20)
+        assert evaluator.calls == 9  # all class pairs, one batch
+        assert outcome.best.values["class_pair"] == 0.0
+
+
+class TestDispatch:
+    def test_auto_uses_the_space_default(self):
+        space = build_space("mq-deadline", samsung_980pro_like())
+        evaluator = FakeEvaluator(space, lambda v: make_score(0.0))
+        outcome = search(space, evaluator, budget=9, strategy="auto")
+        assert outcome.strategy == "grid"
+
+    def test_unknown_strategy_rejected(self):
+        space = iomax_space()
+        with pytest.raises(ValueError, match="unknown strategy"):
+            search(space, FakeEvaluator(space, lambda v: make_score(0.0)), 4, strategy="sgd")
+
+    def test_budget_validated(self):
+        space = iomax_space()
+        with pytest.raises(ValueError, match="budget"):
+            search(space, FakeEvaluator(space, lambda v: make_score(0.0)), 0)

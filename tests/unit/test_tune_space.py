@@ -1,0 +1,186 @@
+"""Unit tests for knob parameter spaces and their device-derived bounds."""
+
+import pytest
+
+from repro.core.config import (
+    BfqKnob,
+    IoCostKnob,
+    IoLatencyKnob,
+    IoMaxKnob,
+    MqDeadlineKnob,
+)
+from repro.sim.rng import RngStreams
+from repro.ssd.model import describe_model_dict
+from repro.ssd.presets import samsung_980pro_like
+from repro.tune.space import (
+    MQ_CLASS_PAIRS,
+    TUNABLE_KNOBS,
+    Parameter,
+    build_space,
+)
+
+PRIO = "/tenants/prio"
+BE = "/tenants/be"
+
+
+def space_for(knob_name, device_scale=8.0):
+    return build_space(
+        knob_name,
+        samsung_980pro_like(),
+        device_scale=device_scale,
+        priority_group=PRIO,
+        be_group=BE,
+    )
+
+
+class TestParameter:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            Parameter("x", 2.0, 1.0)
+        with pytest.raises(ValueError, match="log scale"):
+            Parameter("x", 0.0, 1.0, log=True)
+
+    def test_midpoint_linear_and_geometric(self):
+        linear = Parameter("x", 0.0, 10.0)
+        assert linear.midpoint(0.0, 10.0) == 5.0
+        log = Parameter("x", 1.0, 100.0, log=True)
+        assert log.midpoint(1.0, 100.0) == pytest.approx(10.0)
+
+    def test_grid_spans_bounds_inclusively(self):
+        param = Parameter("x", 1.0, 100.0, log=True)
+        grid = param.grid(3)
+        assert grid[0] == 1.0 and grid[-1] == 100.0
+        assert grid[1] == pytest.approx(10.0)
+
+    def test_integer_grid_dedupes_collisions(self):
+        param = Parameter("x", 1, 3, integer=True)
+        assert param.grid(10) == [1.0, 2.0, 3.0]
+
+    def test_sample_respects_bounds_and_seed(self):
+        param = Parameter("x", 10.0, 1000.0, log=True)
+        a = [param.sample(RngStreams(7).stream("s")) for _ in range(50)]
+        b = [param.sample(RngStreams(7).stream("s")) for _ in range(50)]
+        assert a == b
+        assert all(10.0 <= v <= 1000.0 for v in a)
+
+
+class TestRegistry:
+    def test_all_five_knobs_have_spaces(self):
+        for name in TUNABLE_KNOBS:
+            assert space_for(name).name == name
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(KeyError, match="no parameter space"):
+            build_space("io.imaginary", samsung_980pro_like())
+
+    def test_labels_are_deterministic_and_distinct(self):
+        for name in TUNABLE_KNOBS:
+            space = space_for(name)
+            defaults = space.default_values()
+            assert space.label(defaults) == space.label(dict(defaults))
+            params = space.parameters()
+            other = {p.name: p.clamp(p.lo) for p in params}
+            if other != defaults:
+                assert space.label(other) != space.label(defaults)
+
+    def test_normalize_rejects_unknown_and_missing(self):
+        space = space_for("io.max")
+        with pytest.raises(KeyError, match="unknown"):
+            space.normalize({"bps_fraction": 0.5, "iops_fraction": 0.5, "zap": 1})
+        with pytest.raises(KeyError, match="missing"):
+            space.normalize({"bps_fraction": 0.5})
+
+    def test_render_settings_mentions_the_groups(self):
+        for name in TUNABLE_KNOBS:
+            space = space_for(name)
+            rendered = space.render_settings(space.default_values())
+            assert isinstance(rendered, str) and rendered
+
+
+class TestIoMaxSpace:
+    def test_limits_are_fractions_of_scaled_saturation(self):
+        scale = 8.0
+        space = space_for("io.max", device_scale=scale)
+        doc = describe_model_dict(samsung_980pro_like())
+        knob = space.build({"bps_fraction": 0.5, "iops_fraction": 0.25})
+        assert isinstance(knob, IoMaxKnob)
+        limits = knob.limits[BE]
+        read = doc["cases"]["rand-read-4k"]
+        write = doc["cases"]["rand-write-4k"]
+        assert limits["rbps"] == pytest.approx(0.5 * read["bandwidth_bps"] / scale)
+        assert limits["wbps"] == pytest.approx(0.5 * write["bandwidth_bps"] / scale)
+        assert limits["riops"] == pytest.approx(0.25 * read["iops"] / scale)
+        assert limits["wiops"] == pytest.approx(0.25 * write["iops"] / scale)
+
+    def test_default_knob_is_unconfigured(self):
+        knob = space_for("io.max").default_knob()
+        assert isinstance(knob, IoMaxKnob) and not knob.limits
+
+
+class TestIoLatencySpace:
+    def test_target_scales_with_device(self):
+        scale = 16.0
+        space = space_for("io.latency", device_scale=scale)
+        knob = space.build({"target_us": 100.0})
+        assert isinstance(knob, IoLatencyKnob)
+        assert knob.targets_us[PRIO] == pytest.approx(100.0 * scale)
+
+    def test_bounds_start_under_the_read_cost(self):
+        space = space_for("io.latency")
+        (param,) = space.parameters()
+        assert param.lo == pytest.approx(samsung_980pro_like().read_fixed_us * 0.9)
+        assert param.log and param.stricter_low
+
+    def test_default_knob_is_unconfigured(self):
+        knob = space_for("io.latency").default_knob()
+        assert isinstance(knob, IoLatencyKnob) and not knob.targets_us
+
+
+class TestBfqSpace:
+    def test_weight_builds_both_groups(self):
+        space = space_for("bfq")
+        knob = space.build({"prio_weight": 700})
+        assert isinstance(knob, BfqKnob)
+        assert knob.weights == {PRIO: 700, BE: 100}
+
+    def test_higher_weight_is_stricter(self):
+        (param,) = space_for("bfq").parameters()
+        assert param.stricter_low is False
+        assert param.integer
+
+
+class TestMqDeadlineSpace:
+    def test_pairs_enumerate_all_class_combinations(self):
+        assert len(MQ_CLASS_PAIRS) == 9
+        assert len(set(MQ_CLASS_PAIRS)) == 9
+
+    def test_build_and_label_agree(self):
+        space = space_for("mq-deadline")
+        index = MQ_CLASS_PAIRS.index(("realtime", "idle"))
+        knob = space.build({"class_pair": float(index)})
+        assert isinstance(knob, MqDeadlineKnob)
+        assert knob.classes == {PRIO: "realtime", BE: "idle"}
+        assert space.label({"class_pair": float(index)}) == "prio=realtime,be=idle"
+
+    def test_dimension_is_unordered(self):
+        (param,) = space_for("mq-deadline").parameters()
+        assert param.stricter_low is None
+
+
+class TestIoCostSpace:
+    def test_build_pins_the_vrate_window(self):
+        scale = 8.0
+        space = space_for("io.cost", device_scale=scale)
+        knob = space.build({"prio_weight": 5000, "rlat_us": 200.0, "vrate_pct": 60.0})
+        assert isinstance(knob, IoCostKnob)
+        assert knob.weights == {PRIO: 5000, BE: 100}
+        assert knob.qos.ctrl == "user" and knob.qos.enable
+        assert knob.qos.rpct == 99.0
+        assert knob.qos.rlat_us == pytest.approx(200.0 * scale)
+        assert knob.qos.vrate_min_pct == knob.qos.vrate_max_pct == 60.0
+
+    def test_weight_dimension_comes_first(self):
+        # Coordinate descent walks dimensions in declaration order; the
+        # weight split must be explored before the QoS refinements.
+        params = space_for("io.cost").parameters()
+        assert params[0].name == "prio_weight"
