@@ -4,6 +4,10 @@ Each bench regenerates one of the paper's tables or figures: it runs the
 corresponding isol-bench experiment (at a documented device scale),
 prints the rows/series the paper reports, and writes the same text to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference it.
+The name is not free-form: ``test_<name>.py`` must write ``<name>.txt``
+(the :func:`figure_output` fixture enforces it), and result files whose
+bench module no longer exists are pruned at session start -- renaming a
+bench cannot leave a stale orphan behind for EXPERIMENTS.md to cite.
 
 The pytest-benchmark timer wraps the *whole experiment*, so
 ``--benchmark-only`` runs double as a performance regression check on
@@ -11,14 +15,16 @@ the simulator itself. Every bench uses a single round: the experiments
 are deterministic and long.
 
 Sweeps inside the experiments go through the process-global
-:class:`~repro.exec.executor.SweepExecutor`; two environment variables
-configure it for a bench session:
+:class:`~repro.exec.executor.SweepExecutor`; environment variables
+configure a bench session:
 
 * ``ISOLBENCH_BENCH_WORKERS`` -- worker processes per sweep (default 1:
   serial, so the benchmark timer measures the simulator, not the pool);
 * ``ISOLBENCH_BENCH_CACHE`` -- set to ``1`` to reuse/store summaries in
   the result cache (default off: a bench that reads cached results
-  would time the cache, not the experiment).
+  would time the cache, not the experiment);
+* ``ISOLBENCH_BENCH_RESULTS`` -- results directory override (default
+  ``benchmarks/results/`` next to this file).
 """
 
 from __future__ import annotations
@@ -28,7 +34,14 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_DIR = pathlib.Path(__file__).parent
+DEFAULT_RESULTS_DIR = BENCH_DIR / "results"
+
+
+def results_dir() -> pathlib.Path:
+    """``$ISOLBENCH_BENCH_RESULTS`` or ``benchmarks/results/``."""
+    override = os.environ.get("ISOLBENCH_BENCH_RESULTS")
+    return pathlib.Path(override) if override else DEFAULT_RESULTS_DIR
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -47,13 +60,43 @@ def bench_executor():
             yield executor
 
 
+@pytest.fixture(scope="session", autouse=True)
+def prune_stale_results():
+    """Delete ``<name>.txt`` results whose ``test_<name>.py`` is gone.
+
+    Result files are committed artifacts referenced from EXPERIMENTS.md;
+    when a bench module is renamed or removed its old output would
+    otherwise linger forever and keep looking authoritative.
+    """
+    directory = results_dir()
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.txt")):
+            if not (BENCH_DIR / f"test_{path.stem}.py").is_file():
+                path.unlink()
+                print(f"pruned stale bench result: {path}")
+    yield
+
+
 @pytest.fixture
-def figure_output():
-    """Returns a writer: ``write(name, text)`` prints + persists."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def figure_output(request):
+    """Returns a writer: ``write(name, text)`` prints + persists.
+
+    ``name`` must match the calling bench module (``test_<name>.py``
+    writes ``<name>.txt``) so EXPERIMENTS.md references, result files
+    and bench modules can never drift apart.
+    """
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    expected = pathlib.Path(str(request.fspath)).stem.removeprefix("test_")
 
     def write(name: str, text: str) -> None:
-        path = RESULTS_DIR / f"{name}.txt"
+        """Persist ``text`` as ``<name>.txt`` (name-checked) and print it."""
+        if name != expected:
+            raise ValueError(
+                f"bench result name {name!r} does not match its module: "
+                f"test_{expected}.py must write {expected}.txt"
+            )
+        path = directory / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
 

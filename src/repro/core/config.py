@@ -18,6 +18,7 @@ from repro.cgroups.hierarchy import CgroupHierarchy
 from repro.cgroups.knobs import IoCostModelParams, IoCostQosParams
 from repro.faults.plan import FaultPlan
 from repro.obs.config import TraceConfig
+from repro.prof.config import ProfConfig
 from repro.ssd.model import SsdModel
 from repro.ssd.presets import samsung_980pro_like
 from repro.workloads.spec import JobSpec
@@ -239,6 +240,13 @@ class Scenario:
     # interpreted at device scale 1 and dilated by device_scale when the
     # host is wired.
     faults: Optional[FaultPlan] = None
+    # Self-profiling: None (the default) runs the bare event loop; a
+    # repro.prof.ProfConfig switches the host onto the profiled loop,
+    # which attributes every fired callback's wall-clock time to a
+    # pipeline phase. Profiling never changes simulation results
+    # (bit-identity is test-pinned), but like tracing the artifact
+    # lives on the Host, so profiled scenarios bypass the result cache.
+    prof: Optional[ProfConfig] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

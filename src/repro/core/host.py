@@ -113,6 +113,7 @@ class Host:
         self.iomax_managers = self._build_iomax_managers()
         self.injectors, self.coordinator = self._build_faults()
         self.tracer, self.sampler = self._build_observability()
+        self.profiler = self._build_profiler()
         self.wc_probes = [
             WorkConservationProbe(
                 self.sim,
@@ -297,6 +298,23 @@ class Host:
                 self.sim, config.sample_period_us, self._observability_snapshot()
             )
         return tracer, sampler
+
+    def _build_profiler(self):
+        """Self-profiler per ``scenario.prof`` (None when off).
+
+        Like tracing and faults, profiling is composed at construction
+        time: without a ProfConfig no profiler exists and :meth:`run`
+        drives the bare event loop; with one, the host switches to the
+        profiled loop variant, which fires the same events in the same
+        order (results are bit-identical) while attributing wall-clock
+        time to pipeline phases.
+        """
+        config = self.scenario.prof
+        if config is None:
+            return None
+        from repro.prof.profiler import SimProfiler
+
+        return SimProfiler(config)
 
     def _observability_snapshot(self):
         """Build the sampler's per-tick snapshot function.
@@ -496,4 +514,13 @@ class Host:
                 probe.reset()
 
         self.sim.schedule_at(self.scenario.warmup_us, begin_measurement)
-        self.sim.run_until(self.scenario.duration_us)
+        if self.profiler is not None:
+            self.sim.run_until_profiled(self.scenario.duration_us, self.profiler)
+            if self.tracer is not None:
+                self.profiler.counters["obs.spans"] = float(len(self.tracer.spans))
+            if self.sampler is not None:
+                self.profiler.counters["obs.samples"] = float(
+                    len(self.sampler.samples)
+                )
+        else:
+            self.sim.run_until(self.scenario.duration_us)

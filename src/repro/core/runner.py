@@ -86,6 +86,19 @@ class ScenarioResult:
             dropped_spans=tracer.dropped if tracer is not None else 0,
         )
 
+    @property
+    def profile(self):
+        """The self-profiling artifact, or None if profiling was off.
+
+        A :class:`~repro.prof.profiler.SimProfile` with the per-phase
+        wall-clock breakdown of the event loop that produced this
+        result, ready for the :mod:`repro.prof.export` writers.
+        """
+        profiler = self.host.profiler
+        if profiler is None:
+            return None
+        return profiler.profile()
+
     # ------------------------------------------------------------------
     # Per-app / per-group views
     # ------------------------------------------------------------------

@@ -19,8 +19,9 @@ Table I pipeline and the figure modules build lists of independent
 * captures a failing scenario as a structured :class:`SweepError`
   (exception repr + full worker traceback text) without killing the
   rest of the sweep;
-* reports ``k/n done, m cached, events/sec aggregate`` progress after
-  every completion through an optional callback.
+* reports ``k/n done, m cached, events/sec aggregate`` progress (plus
+  worker-pool utilization: busy vs idle worker-seconds) after every
+  completion through an optional callback.
 
 Worker processes are started with the ``spawn`` method: children import
 the package fresh, so the cross-process determinism contract ("a worker
@@ -77,6 +78,10 @@ class SweepProgress:
     #: Submissions satisfied by an identical in-sweep scenario (same
     #: content-addressed key) instead of their own execution.
     deduped: int = 0
+    #: Worker-side seconds spent executing scenarios so far this sweep.
+    busy_seconds: float = 0.0
+    #: Size of the worker pool the sweep is fanning over.
+    workers: int = 1
 
     @property
     def events_per_sec(self) -> float:
@@ -87,11 +92,23 @@ class SweepProgress:
             else 0.0
         )
 
+    @property
+    def idle_seconds(self) -> float:
+        """Worker-seconds spent idle (pool capacity minus busy time)."""
+        return max(0.0, self.workers * self.elapsed_seconds - self.busy_seconds)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-pool capacity spent executing scenarios."""
+        capacity = self.workers * self.elapsed_seconds
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
     def __str__(self) -> str:
         deduped = f", {self.deduped} deduped" if self.deduped else ""
         return (
             f"{self.done}/{self.total} done, {self.cached} cached{deduped}, "
-            f"{self.events_per_sec:,.0f} events/sec aggregate"
+            f"{self.events_per_sec:,.0f} events/sec aggregate, "
+            f"util={self.utilization:.0%}"
         )
 
 
@@ -104,11 +121,61 @@ class ExecutorStats:
     cached: int = 0
     failed: int = 0
     deduped: int = 0
+    #: Simulator events fired by executed (non-cached) scenario runs.
+    events_processed: int = 0
+    #: Wall-clock seconds spent inside :meth:`SweepExecutor.run`.
+    elapsed_seconds: float = 0.0
+    #: Worker-side seconds spent executing scenarios (busy time).
+    busy_seconds: float = 0.0
+    #: Size of the worker pool (per-sweep capacity multiplier).
+    workers: int = 1
+    #: Busy seconds per worker process, keyed by pid (the coordinating
+    #: process itself for serial executors).
+    worker_busy: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Lifetime aggregate event throughput of executed runs."""
+        return (
+            self.events_processed / self.elapsed_seconds
+            if self.elapsed_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def idle_seconds(self) -> float:
+        """Lifetime worker-seconds of idle pool capacity."""
+        return max(0.0, self.workers * self.elapsed_seconds - self.busy_seconds)
+
+    @property
+    def utilization(self) -> float:
+        """Lifetime fraction of worker-pool capacity spent executing."""
+        capacity = self.workers * self.elapsed_seconds
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+    def to_json_dict(self) -> dict:
+        """Plain-dict form for bench trajectory files."""
+        return {
+            "sweeps": self.sweeps,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "deduped": self.deduped,
+            "events_processed": self.events_processed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+            "utilization": self.utilization,
+            "workers": self.workers,
+            "worker_busy": dict(sorted(self.worker_busy.items())),
+        }
 
     def __str__(self) -> str:
         return (
             f"{self.sweeps} sweep(s): {self.executed} executed, "
-            f"{self.cached} cached, {self.deduped} deduped, {self.failed} failed"
+            f"{self.cached} cached, {self.deduped} deduped, {self.failed} failed; "
+            f"{self.workers} worker(s): busy={self.busy_seconds:.1f}s "
+            f"idle={self.idle_seconds:.1f}s ({self.utilization:.0%} util)"
         )
 
 
@@ -117,12 +184,20 @@ def _run_in_worker(scenario: Scenario):
 
     Exceptions are caught *inside* the worker so their traceback text --
     which would otherwise die with the child process -- survives the
-    trip back to the parent.
+    trip back to the parent. The last payload element is worker-side
+    accounting ``(pid, busy_seconds)`` feeding per-worker utilization.
     """
+    started = time.perf_counter()
     try:
-        return ("ok", run_scenario_summary(scenario))
+        summary = run_scenario_summary(scenario)
+        return ("ok", summary, (os.getpid(), time.perf_counter() - started))
     except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
-        return ("err", repr(exc), traceback.format_exc())
+        return (
+            "err",
+            repr(exc),
+            traceback.format_exc(),
+            (os.getpid(), time.perf_counter() - started),
+        )
 
 
 def _default_worker_count() -> int:
@@ -144,7 +219,7 @@ class SweepExecutor:
             raise ValueError("max_workers must be >= 1")
         self.cache = cache
         self.progress = progress
-        self.stats = ExecutorStats()
+        self.stats = ExecutorStats(workers=self.max_workers)
         self._pool: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -185,15 +260,18 @@ class SweepExecutor:
         other scenarios are unaffected. Content-identical scenarios
         (same cache key) within one sweep execute once and the result is
         fanned back to every submission slot (``deduped`` in stats).
-        Scenarios with tracing enabled bypass both the cache and the
-        dedup (their :class:`~repro.obs.export.Trace` artifact lives on
-        the Host and cannot be replayed from a shared summary).
+        Scenarios with tracing or profiling enabled bypass both the
+        cache and the dedup (their :class:`~repro.obs.export.Trace` /
+        :class:`~repro.prof.profiler.SimProfile` artifact lives on the
+        Host and cannot be replayed from a shared summary).
         """
         total = len(scenarios)
         results: list[Union[ScenarioSummary, SweepError, None]] = [None] * total
         started = time.perf_counter()
         cached = failed = done = deduped = 0
         events = 0
+        busy = 0.0
+        busy_by_pid: dict[str, float] = {}
 
         def emit() -> None:
             if self.progress is not None:
@@ -206,6 +284,8 @@ class SweepExecutor:
                         events_processed=events,
                         elapsed_seconds=time.perf_counter() - started,
                         deduped=deduped,
+                        busy_seconds=busy,
+                        workers=self.max_workers,
                     )
                 )
 
@@ -213,14 +293,15 @@ class SweepExecutor:
         # scenarios (same cache key -- search loops naturally re-propose
         # candidates) collapse onto one *primary* execution; the other
         # slots become followers and are filled from the primary's
-        # result. Traced scenarios keep their own run (their Trace
-        # artifact is not shareable), so they neither dedupe nor cache.
+        # result. Traced and profiled scenarios keep their own run
+        # (their artifact is not shareable), so they neither dedupe nor
+        # cache.
         keys: list[str | None] = [None] * total
         to_run: list[int] = []
         primary_of_key: dict[str, int] = {}
         followers: dict[int, list[int]] = {}
         for index, scenario in enumerate(scenarios):
-            if scenario.trace is None:
+            if scenario.trace is None and scenario.prof is None:
                 key = scenario_key(scenario)
                 keys[index] = key
                 if self.cache is not None:
@@ -239,18 +320,29 @@ class SweepExecutor:
             to_run.append(index)
 
         # Phase 2: execute the misses.
+        def note_busy(meta) -> None:
+            nonlocal busy
+            if meta is None:
+                return
+            pid, seconds = meta
+            busy += seconds
+            key = str(pid)
+            busy_by_pid[key] = busy_by_pid.get(key, 0.0) + seconds
+
         def record(index: int, payload) -> None:
             nonlocal done, failed, events, deduped
             fanout = [index, *followers.get(index, ())]
             if payload[0] == "ok":
-                summary = payload[1]
+                _, summary, meta = payload
+                note_busy(meta)
                 events += summary.events_processed
                 if self.cache is not None and keys[index] is not None:
                     self.cache.put(keys[index], summary)
                 for slot in fanout:
                     results[slot] = summary
             else:
-                _, error, tb_text = payload
+                _, error, tb_text, meta = payload
+                note_busy(meta)
                 for slot in fanout:
                     results[slot] = SweepError(
                         scenario_name=scenarios[slot].name,
@@ -290,6 +382,7 @@ class SweepExecutor:
                                     type(exc), exc, exc.__traceback__
                                 )
                             ),
+                            None,  # no worker-side accounting survived
                         )
                     else:
                         payload = future.result()
@@ -301,6 +394,11 @@ class SweepExecutor:
         self.stats.deduped += deduped
         # executed + failed == primaries run; + cached + deduped == total.
         self.stats.executed += len(to_run) - failed
+        self.stats.events_processed += events
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        self.stats.busy_seconds += busy
+        for pid, seconds in busy_by_pid.items():
+            self.stats.worker_busy[pid] = self.stats.worker_busy.get(pid, 0.0) + seconds
         return results  # type: ignore[return-value]
 
     def run_strict(self, scenarios: Sequence[Scenario]) -> list[ScenarioSummary]:

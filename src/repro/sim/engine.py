@@ -153,6 +153,67 @@ class Simulator:
             self._now = event.time
             event.fn()
 
+    def run_until_profiled(self, end_time_us: float, profiler) -> None:
+        """:meth:`run_until` with per-event phase timing.
+
+        A separate method rather than a branch inside :meth:`run_until`
+        on purpose: the un-profiled loop must stay byte-for-byte the
+        seed hot path (``tests/unit/test_obs_overhead.py`` guards it).
+        Semantics are identical — same firing order, same cancellation
+        bookkeeping, same final clock — so a profiled run produces
+        bit-identical simulation results; it only additionally reads
+        the wall clock twice per event and attributes the callback's
+        time to its pipeline phase (see :mod:`repro.prof.phases`).
+        """
+        from time import perf_counter as perf
+
+        heap = self._heap
+        pop = heappop
+        phase_wall = profiler.phase_wall
+        phase_events = profiler.phase_events
+        cache = profiler._phase_cache
+        resolve = profiler.resolve_phase
+        bucket_us = profiler.bucket_us
+        heap_peak = len(heap)
+        loop_start = perf()
+        t_prev = loop_start
+        while heap:
+            event = heap[0]
+            if event.time > end_time_us:
+                break
+            if len(heap) > heap_peak:
+                heap_peak = len(heap)
+            pop(heap)
+            if event.cancelled:
+                self._cancelled_popped += 1
+                continue
+            event.cancelled = True  # consumed: cancel() is now a no-op
+            self._now = event.time
+            fn = event.fn
+            t0 = perf()
+            fn()
+            t1 = perf()
+            code = getattr(fn, "__code__", None)
+            phase = cache.get(code)
+            if phase is None:
+                phase = resolve(fn)
+            elapsed = t1 - t0
+            phase_wall[phase] = phase_wall.get(phase, 0.0) + elapsed
+            phase_events[phase] = phase_events.get(phase, 0) + 1
+            phase_wall["engine.pop"] += t0 - t_prev
+            t_prev = t1
+            if bucket_us:
+                profiler.bucket_add(event.time, phase, elapsed)
+        self._now = max(self._now, end_time_us)
+        loop_end = perf()
+        phase_wall["engine.pop"] += loop_end - t_prev
+        profiler.loop_wall_seconds += loop_end - loop_start
+        counters = profiler.counters
+        counters["events.heap_peak"] = max(
+            counters.get("events.heap_peak", 0.0), float(heap_peak)
+        )
+        profiler.note_engine(self)
+
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events (O(1))."""
         return len(self._heap) - (self._cancelled_total - self._cancelled_popped)

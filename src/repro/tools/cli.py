@@ -6,16 +6,20 @@ Subcommands mirror the benchmark suite::
     isol-bench coef-gen [flash|optane]       # io.cost model generation
     isol-bench run --knob io.cost ...        # one ad-hoc scenario
     isol-bench run --faults gc-storm ...     # ... on a degraded device
+    isol-bench run --prof ...                # ... with the self-profiler on
     isol-bench trace --knob io.cost --out t.json   # traced run -> timeline
     isol-bench table1 [--quick] [--workers N] [--no-cache]  # Table I
     isol-bench d5 [--quick|--mini] [--faults a,b]  # robustness ranking
     isol-bench tune --slo ... [--knob auto] [--budget N]  # SLO autotuner
+    isol-bench bench [--mini] [--compare]    # pinned perf suite + trajectory
     isol-bench cache stats|path|clear        # result-cache maintenance
 
 ``table1`` fans its scenario sweeps over worker processes and caches
 summaries content-addressed under ``.isolbench-cache/`` (see
 :mod:`repro.exec`); a re-run with unchanged scenarios executes nothing.
 All output is plain text; heavy lifting lives in :mod:`repro.core`.
+Every workload-running subcommand ends with a uniform machine-parseable
+footer: ``perf: events=<n> elapsed=<s>s events/sec=<r>``.
 """
 
 from __future__ import annotations
@@ -80,7 +84,16 @@ def _make_knob(name: str):
     return knobs[name]()
 
 
-def _scenario_from_args(args: argparse.Namespace, name: str, trace=None) -> Scenario:
+def _perf_line(events: int | float, elapsed: float) -> str:
+    """The uniform machine-parseable perf footer every subcommand prints."""
+    events = int(events)
+    rate = events / elapsed if elapsed > 0 else 0.0
+    return f"perf: events={events} elapsed={elapsed:.3f}s events/sec={rate:.0f}"
+
+
+def _scenario_from_args(
+    args: argparse.Namespace, name: str, trace=None, prof=None
+) -> Scenario:
     apps = []
     for i in range(args.batch_apps):
         apps.append(
@@ -103,6 +116,7 @@ def _scenario_from_args(args: argparse.Namespace, name: str, trace=None) -> Scen
         seed=args.seed,
         trace=trace,
         faults=get_fault_plan(args.faults) if args.faults else None,
+        prof=prof,
     )
 
 
@@ -117,9 +131,34 @@ def _print_fault_counters(result) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_scenario(_scenario_from_args(args, "cli-run"))
+    prof = None
+    if args.prof or args.prof_out:
+        from repro.prof import ProfConfig
+
+        prof = ProfConfig(timeline_bucket_us=args.prof_bucket_us)
+    result = run_scenario(_scenario_from_args(args, "cli-run", prof=prof))
     print(result.describe())
     _print_fault_counters(result)
+    if prof is not None:
+        from repro.prof import format_phase_table, write_pstats
+        from repro.prof import write_chrome_trace as write_prof_chrome
+
+        profile = result.profile
+        print(f"\nengine phase breakdown:\n{format_phase_table(profile)}")
+        if args.prof_out:
+            if args.prof_format == "json":
+                import json
+
+                with open(args.prof_out, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        profile.to_json_dict(), handle, indent=2, sort_keys=True
+                    )
+            elif args.prof_format == "pstats":
+                write_pstats(profile, args.prof_out)
+            else:  # chrome
+                write_prof_chrome(profile, args.prof_out)
+            print(f"wrote {args.prof_format} profile: {args.prof_out}")
+    print(_perf_line(result.events_processed, result.wall_seconds))
     return 0
 
 
@@ -166,6 +205,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.format} trace: {path}")
     if args.format == "chrome":
         print("open in https://ui.perfetto.dev or chrome://tracing")
+    print(_perf_line(result.events_processed, result.wall_seconds))
     return 0
 
 
@@ -192,6 +232,20 @@ def _build_executor(args: argparse.Namespace):
     progress = None if args.quiet else _progress_printer(sys.stderr)
     return SweepExecutor(
         max_workers=args.workers, cache=cache, progress=progress
+    )
+
+
+def _sweep_stats_line(executor) -> str:
+    """Machine-checkable sweep-stats footer (CI greps ``executed=``/``cached=``)."""
+    stats = executor.stats
+    cache_line = (
+        f", cache: {executor.cache.stats}" if executor.cache is not None else ""
+    )
+    return (
+        f"sweep stats: executed={stats.executed} cached={stats.cached} "
+        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps} "
+        f"busy={stats.busy_seconds:.1f}s idle={stats.idle_seconds:.1f}s "
+        f"util={stats.utilization:.0%}{cache_line}"
     )
 
 
@@ -228,18 +282,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     with _build_executor(args) as executor:
         table = evaluate_table_one(settings, executor=executor)
         stats = executor.stats
-        cache_line = (
-            f", cache: {executor.cache.stats}" if executor.cache is not None else ""
-        )
     print(table.render())
     matches = table.matches_paper()
     total = sum(matches.values())
     print(f"\ncells matching the paper: {total}/{4 * len(matches)}")
     # Machine-checkable summary (CI asserts executed=0 on a warm cache).
-    print(
-        f"sweep stats: executed={stats.executed} cached={stats.cached} "
-        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
-    )
+    print(_sweep_stats_line(executor))
+    print(_perf_line(stats.events_processed, stats.elapsed_seconds))
     return 0
 
 
@@ -266,9 +315,6 @@ def _cmd_d5(args: argparse.Namespace) -> int:
     with _build_executor(args) as executor:
         table = evaluate_robustness(settings, executor=executor)
         stats = executor.stats
-        cache_line = (
-            f", cache: {executor.cache.stats}" if executor.cache is not None else ""
-        )
     print(table.render())
     best = table.rank()[0]
     print(
@@ -282,10 +328,8 @@ def _cmd_d5(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(table.to_json_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote ranking JSON: {args.json}")
-    print(
-        f"sweep stats: executed={stats.executed} cached={stats.cached} "
-        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
-    )
+    print(_sweep_stats_line(executor))
+    print(_perf_line(stats.events_processed, stats.elapsed_seconds))
     return 0
 
 
@@ -325,9 +369,6 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     with _build_executor(args) as executor:
         report = evaluate_autotune(settings, slo=slo, executor=executor)
         stats = executor.stats
-        cache_line = (
-            f", cache: {executor.cache.stats}" if executor.cache is not None else ""
-        )
     print(report.render())
     if args.json:
         import json
@@ -338,11 +379,76 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.trace_out:
         write_decision_trace(report, args.trace_out)
         print(f"wrote decision trace: {args.trace_out}")
-    print(
-        f"sweep stats: executed={stats.executed} cached={stats.cached} "
-        f"deduped={stats.deduped} failed={stats.failed} sweeps={stats.sweeps}{cache_line}"
-    )
+    print(_sweep_stats_line(executor))
+    print(_perf_line(stats.events_processed, stats.elapsed_seconds))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.prof import bench
+
+    cases = None
+    if args.cases:
+        cases = tuple(name.strip() for name in args.cases.split(",") if name.strip())
+
+    directory = args.dir
+    baseline_path = args.baseline or bench.latest_bench_path(directory)
+
+    if args.candidate:
+        record = bench.load_bench(args.candidate)
+        elapsed = 0.0
+        print(f"loaded candidate bench record: {args.candidate}")
+    else:
+        started = time.perf_counter()
+        record = bench.run_bench(
+            repeats=args.repeats,
+            mini=args.mini,
+            cases=cases,
+            workers=args.workers,
+            label=args.label,
+        )
+        elapsed = time.perf_counter() - started
+
+    for name, entry in record["cases"].items():
+        line = (
+            f"case {name:<14s} events={entry['events']:>9,d} "
+            f"events/sec={entry['median_rate']:>9,.0f} "
+            f"normalized={entry['median_normalized']:.3f}"
+        )
+        if entry["kind"] == "profiled" and "coverage" in entry:
+            line += f" coverage={entry['coverage']:.1%}"
+        elif entry["kind"] == "executor" and "executor" in entry:
+            line += (
+                f" util={entry['executor']['utilization']:.0%} "
+                f"cache-hits={entry['cache']['hits']}"
+            )
+        print(line)
+
+    if not args.no_write and not args.candidate:
+        path = bench.write_bench(record, directory)
+        print(f"wrote bench record: {path}")
+
+    status = 0
+    if args.compare:
+        if baseline_path is None:
+            raise SystemExit(
+                f"bench --compare: no baseline record under {directory} "
+                "(pass --baseline or commit one first)"
+            )
+        baseline = bench.load_bench(baseline_path)
+        threshold = (
+            args.threshold if args.threshold is not None else bench.DEFAULT_THRESHOLD
+        )
+        report = bench.compare_benches(baseline, record, threshold=threshold)
+        print(f"\ncompare vs {baseline_path}:")
+        print(report.render())
+        status = 0 if report.ok else 1
+
+    total_events = sum(entry["events"] for entry in record["cases"].values())
+    print(_perf_line(total_events, elapsed))
+    return status
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -397,6 +503,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one ad-hoc scenario")
     _add_scenario_args(p)
+    p.add_argument(
+        "--prof",
+        action="store_true",
+        help="run with the self-profiler on and print the phase breakdown",
+    )
+    p.add_argument(
+        "--prof-out",
+        default=None,
+        help="also write the profile to this path (implies --prof)",
+    )
+    p.add_argument(
+        "--prof-format",
+        default="json",
+        choices=("json", "pstats", "chrome"),
+        help="profile export format for --prof-out (default: json)",
+    )
+    p.add_argument(
+        "--prof-bucket-us",
+        type=float,
+        default=0.0,
+        help="timeline bucket width in simulated us (0 = totals only)",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -484,6 +612,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(p)
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite; compare against the trajectory",
+    )
+    p.add_argument(
+        "--mini", action="store_true", help="single repeat (CI; same case content)"
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="paired repeats per case (default 3)"
+    )
+    p.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case filter (default: the full suite)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker-pool size for the executor case (default 2)",
+    )
+    p.add_argument("--label", default=None, help="free-form label stored in the record")
+    p.add_argument(
+        "--dir",
+        default="benchmarks/trajectory",
+        help="trajectory directory of BENCH_<n>.json records",
+    )
+    p.add_argument(
+        "--no-write", action="store_true", help="do not write a BENCH_<n>.json record"
+    )
+    p.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff against the baseline; exit 1 on regression",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline record path (default: latest BENCH_<n>.json in --dir)",
+    )
+    p.add_argument(
+        "--candidate",
+        default=None,
+        help="compare a pre-recorded candidate instead of running the suite",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="slowdown factor that counts as a regression (default 1.3)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("stats", "path", "clear"))

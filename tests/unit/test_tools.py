@@ -1,5 +1,7 @@
 """Unit tests for iocost_coef_gen, report rendering, and the CLI."""
 
+import re
+
 import pytest
 
 from repro.core.report import render_series, render_table
@@ -134,3 +136,55 @@ class TestCli:
     def test_run_without_apps(self):
         with pytest.raises(SystemExit):
             main(["run", "--batch-apps", "0", "--lc-apps", "0"])
+
+
+#: Every workload-running subcommand ends with this machine-parseable line.
+PERF_LINE_RE = re.compile(r"^perf: events=\d+ elapsed=\d+\.\d{3}s events/sec=\d+$")
+
+QUICK_RUN_ARGS = [
+    "--batch-apps",
+    "1",
+    "--duration",
+    "0.05",
+    "--device-scale",
+    "16",
+]
+
+
+class TestPerfFooter:
+    def test_run_ends_with_perf_line(self, capsys):
+        assert main(["run", *QUICK_RUN_ARGS]) == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        assert PERF_LINE_RE.match(last), last
+
+    def test_trace_ends_with_perf_line(self, capsys, tmp_path):
+        out_path = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["trace", *QUICK_RUN_ARGS, "--format", "jsonl", "--out", out_path]
+        )
+        assert code == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        assert PERF_LINE_RE.match(last), last
+
+    def test_run_prof_prints_breakdown_then_perf_line(self, capsys, tmp_path):
+        out_path = str(tmp_path / "profile.pstats")
+        code = main(
+            [
+                "run",
+                *QUICK_RUN_ARGS,
+                "--prof",
+                "--prof-out",
+                out_path,
+                "--prof-format",
+                "pstats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine phase breakdown:" in out
+        assert "loop total" in out
+        import pstats
+
+        assert pstats.Stats(out_path).stats  # loadable by the stdlib
+        last = out.strip().splitlines()[-1]
+        assert PERF_LINE_RE.match(last), last
