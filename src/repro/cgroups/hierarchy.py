@@ -38,6 +38,14 @@ class Cgroup:
                 raise DelegationError(f"invalid cgroup name {name!r}")
         self.name = name
         self.parent = parent
+        # name/parent never change after construction, so the absolute
+        # path is computed once; controllers key per-group state by it on
+        # every request.
+        if parent is None:
+            self._path = "/"
+        else:
+            parent_path = parent._path
+            self._path = parent_path + name if parent_path == "/" else f"{parent_path}/{name}"
         self.children: dict[str, Cgroup] = {}
         self.processes: set[str] = set()
         self.subtree_control: set[str] = set()
@@ -55,10 +63,7 @@ class Cgroup:
 
     @property
     def path(self) -> str:
-        if self.is_root:
-            return "/"
-        parent_path = self.parent.path
-        return parent_path + self.name if parent_path == "/" else f"{parent_path}/{self.name}"
+        return self._path
 
     def create_child(self, name: str) -> "Cgroup":
         """Create a child group (mkdir)."""

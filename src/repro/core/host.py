@@ -15,6 +15,7 @@ completions to the metrics collector.
 from __future__ import annotations
 
 import dataclasses
+from functools import partial
 
 from repro.cgroups.hierarchy import Cgroup, CgroupHierarchy
 from repro.core.config import (
@@ -39,7 +40,7 @@ from repro.iocontrol.iolatency import IoLatencyController
 from repro.iocontrol.iomax import IoMaxController
 from repro.iocontrol.mq_deadline import MqDeadlineScheduler
 from repro.iocontrol.nonectl import NoneScheduler
-from repro.iorequest import IoRequest
+from repro.iorequest import IoRequest, OpType
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.workconservation import WorkConservationProbe
 from repro.sim.engine import Simulator
@@ -88,6 +89,10 @@ class Host:
         )
         self.core_set = CoreSet(self.sim, scenario.cores)
         self.accounting = CpuAccounting(self.core_set, self.profile)
+        # The per-I/O CPU costs depend only on an app's queue depth;
+        # memoized here so the 1/qd interpolation runs once per depth.
+        self._submit_cost_us: dict[int, float] = {}
+        self._complete_cost_us: dict[int, float] = {}
 
         self._build_cgroups()
         scenario.knob.configure(self.hierarchy, scenario.device_ids())
@@ -110,6 +115,25 @@ class Host:
         ]
         self.apps = self._build_apps()
         self.page_caches = self._build_page_caches()
+        # Request-path fast-path state: bound submit targets per device
+        # (avoids a method allocation per request) and flags that let the
+        # per-request handlers skip branches no app in the scenario uses.
+        self._engine_submits = [engine.submit for engine in self.engines]
+        self._any_buffered = any(not spec.direct for spec in self.scenario.apps)
+        self._saturated_extra = self.profile.saturated_extra_latency_us
+        # Vectorized warm-up of the per-device cost memos: every
+        # (op, pattern, size) shape the scenario can issue is evaluated
+        # in one batch (numpy when available), so no request pays the
+        # model arithmetic on first touch. Bit-identical to the lazy
+        # scalar fills it replaces.
+        cost_keys: dict[tuple, None] = {}
+        for spec in self.scenario.apps:
+            if spec.read_fraction > 0.0:
+                cost_keys[(OpType.READ, spec.pattern, spec.size)] = None
+            if spec.read_fraction < 1.0:
+                cost_keys[(OpType.WRITE, spec.pattern, spec.size)] = None
+        for device in self.devices.devices:
+            device.warm_costs(cost_keys)
         self.iomax_managers = self._build_iomax_managers()
         self.injectors, self.coordinator = self._build_faults()
         self.tracer, self.sampler = self._build_observability()
@@ -208,6 +232,11 @@ class Host:
                 rng=self.rngs.stream(f"app.{spec.name}"),
                 device_index=self.devices.device_for_app(app_index),
                 prio_class=prio,
+                arrival_rng=(
+                    self.rngs.stream(f"app.{spec.name}.arrivals")
+                    if spec.macro_tick_us is not None
+                    else None
+                ),
             )
             apps[spec.name] = app
         return apps
@@ -387,8 +416,10 @@ class Host:
     # ------------------------------------------------------------------
     def _submit(self, req: IoRequest) -> None:
         qd = self.apps[req.app_name].spec.queue_depth
-        cost = self.profile.submit_cost_us(qd)
-        self.core_set.charge(cost, lambda: self._after_submit_cpu(req))
+        cost = self._submit_cost_us.get(qd)
+        if cost is None:
+            cost = self._submit_cost_us[qd] = self.profile.submit_cost_us(qd)
+        self.core_set.charge(cost, partial(self._after_submit_cpu, req))
 
     def _route_to_block_layer(self, req: IoRequest) -> None:
         """Entry below the page cache: straight into cgroup throttling."""
@@ -409,20 +440,20 @@ class Host:
         coordinator = self.coordinator
         if coordinator is not None and req.app_name in self.apps:
             coordinator.watch(req)
-        self.throttles[req.device_index].submit(
-            req, self.engines[req.device_index].submit
-        )
+        device_index = req.device_index
+        self.throttles[device_index].submit(req, self._engine_submits[device_index])
 
     def _after_submit_cpu(self, req: IoRequest) -> None:
-        app = self.apps.get(req.app_name)
-        if app is not None and not app.spec.direct:
-            cache = self.page_caches[req.device_index]
-            cache.submit_buffered(req, self._finish)
-            return
+        if self._any_buffered:
+            app = self.apps.get(req.app_name)
+            if app is not None and not app.spec.direct:
+                cache = self.page_caches[req.device_index]
+                cache.submit_buffered(req, self._finish)
+                return
         self._after_submit_cpu_direct(req)
 
     def _after_submit_cpu_direct(self, req: IoRequest) -> None:
-        extra = self.profile.saturated_extra_latency_us
+        extra = self._saturated_extra
         if extra > 0 and self.core_set.is_saturated():
             # io.cost defers work to per-period timers; under CPU
             # saturation those timers lag, inflating latency (O1).
@@ -436,8 +467,10 @@ class Host:
         app = self.apps.get(req.app_name)
         # Kernel-side requests (writeback) complete at batched cost.
         qd = app.spec.queue_depth if app is not None else 256
-        cost = self.profile.complete_cost_us(qd)
-        self.core_set.charge(cost, lambda: self._finish(req))
+        cost = self._complete_cost_us.get(qd)
+        if cost is None:
+            cost = self._complete_cost_us[qd] = self.profile.complete_cost_us(qd)
+        self.core_set.charge(cost, partial(self._finish, req))
 
     def _finish(self, req: IoRequest) -> None:
         coordinator = self.coordinator

@@ -38,7 +38,10 @@ from repro.exec.summary import SUMMARY_SCHEMA_VERSION
 #: v2: fault-injection layer (Scenario.faults, retry/timeout completion
 #: path) — pre-faults entries were produced by a semantically different
 #: simulator and must read as misses.
-SCHEMA_VERSION = 2
+#: v3: JobSpec.macro_tick_us arrival batching — specs render with a new
+#: field, and macro-tick runs draw from a dedicated arrival RNG stream
+#: older entries never saw.
+SCHEMA_VERSION = 3
 
 _SALT = f"isolbench-cache:v{SCHEMA_VERSION}:summary-v{SUMMARY_SCHEMA_VERSION}"
 

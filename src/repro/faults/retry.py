@@ -149,7 +149,7 @@ class RetryCoordinator:
             self.stats.stale_completions += 1
             return False
         if req.timeout_event is not None:
-            req.timeout_event.cancel()
+            self.sim.cancel(req.timeout_event)
             req.timeout_event = None
         if not req.failed:
             return True

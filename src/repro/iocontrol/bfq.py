@@ -21,6 +21,7 @@ Re-implements the mechanisms behind the paper's BFQ observations:
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Callable, Optional
 
 from repro.iocontrol.base import IoScheduler
@@ -35,7 +36,7 @@ class _BfqGroupQueue:
 
     def __init__(self, path: str):
         self.path = path
-        self.queue: list[IoRequest] = []
+        self.queue: deque[IoRequest] = deque()
         self.vfinish = 0.0
         self.in_flight = 0
 
@@ -70,6 +71,7 @@ class BfqScheduler(IoScheduler):
         self.affinity_sigma = affinity_sigma
         self._affinity_cache: dict[str, float] = {}
         self._groups: dict[str, _BfqGroupQueue] = {}
+        self._queued = 0
         self._active: Optional[_BfqGroupQueue] = None
         self._slice_start = 0.0
         self._slice_used_bytes = 0
@@ -92,6 +94,7 @@ class BfqScheduler(IoScheduler):
             # accumulated debt (standard WFQ clamping).
             group.vfinish = max(group.vfinish, self._vtime)
         group.queue.append(req)
+        self._queued += 1
         if group is self._active:
             # New I/O from the slice owner cancels idling.
             self._idle_deadline = None
@@ -138,7 +141,8 @@ class BfqScheduler(IoScheduler):
             active = self._select_next(now)
             if active is None:
                 return None, None
-        req = active.queue.pop(0)
+        req = active.queue.popleft()
+        self._queued -= 1
         weight = max(self.weight_of(active.path), 1e-9)
         active.vfinish += req.size / weight * self._charge_bias(active.path)
         self._slice_used_bytes += req.size
@@ -164,7 +168,7 @@ class BfqScheduler(IoScheduler):
             group.in_flight -= 1
 
     def queued(self) -> int:
-        return sum(len(group.queue) for group in self._groups.values())
+        return self._queued
 
     def snapshot(self) -> dict[str, float]:
         """Slice-owner and per-group backlog state for the sampler."""

@@ -51,19 +51,38 @@ class DispatchEngine:
         self.scheduler.add(req)
         self.pump()
 
+    def submit_batch(self, reqs: list[IoRequest]) -> None:
+        """Admit several requests arriving at the same tick.
+
+        Behaviorally identical to calling :meth:`submit` per request in
+        order; the device's cost memos are filled by one vectorized
+        evaluation before the first admission (macro-tick arrival
+        batches land here).
+        """
+        self.device.precompute_costs(reqs)
+        now = self.sim.now
+        scheduler = self.scheduler
+        for req in reqs:
+            req.queued_time = now
+            scheduler.add(req)
+            self.pump()
+
     def pump(self) -> None:
         """Dispatch the next request if the lock is free."""
         if self._lock_busy:
             return
-        req, retry_at = self.scheduler.pop(self.sim.now)
+        scheduler = self.scheduler
+        req, retry_at = scheduler.pop(self.sim.now)
         if req is None:
             if retry_at is not None:
                 self._arm_retry(retry_at)
             return
         self._lock_busy = True
-        lock_us = self.scheduler.lock_overhead_us
-        waiters = min(self.scheduler.queued(), self.spin_cap)
+        lock_us = scheduler.lock_overhead_us
+        waiters = scheduler.queued()
         if waiters:
+            if waiters > self.spin_cap:
+                waiters = self.spin_cap
             self.core_set.account_spin(waiters * lock_us)
         self.sim.schedule(lock_us, lambda: self._dispatch(req))
 
@@ -79,7 +98,7 @@ class DispatchEngine:
         if self._retry_armed_until is not None and self._retry_armed_until <= retry_at:
             return
         if self._retry_event is not None:
-            self._retry_event.cancel()
+            self.sim.cancel(self._retry_event)
         self._retry_armed_until = retry_at
         self._retry_event = self.sim.schedule_at(retry_at, self._retry_fire)
 

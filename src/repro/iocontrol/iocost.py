@@ -95,7 +95,9 @@ class _GroupCostState:
     def __init__(self, group: Cgroup, vnow: float):
         self.group = group
         self.vtime = vnow
-        self.pending: deque[tuple[IoRequest, ForwardFn]] = deque()
+        # Entries are (req, forward, abs_cost): the linear-model cost is
+        # priced once at submission and travels with the request.
+        self.pending: deque[tuple[IoRequest, ForwardFn, float]] = deque()
         self.in_flight = 0
         self.last_active = 0.0
         self.timer_armed = False
@@ -134,6 +136,10 @@ class IoCostController(ThrottleLayer):
         self.model = model
         self.qos = qos
         self.coefs = cost_coefficients(model)
+        # abs_cost_us depends only on (op, pattern, size); workloads use a
+        # handful of shapes, so each is priced once.
+        self._cost_cache: dict[tuple, float] = {}
+        self._margin_us = self.MARGIN_PERIODS * self.PERIOD_US
         self._vrate_min = qos.vrate_min_pct / 100.0
         self._vrate_max = qos.vrate_max_pct / 100.0
         self.vrate = min(max(1.0, self._vrate_min), self._vrate_max)
@@ -158,7 +164,7 @@ class IoCostController(ThrottleLayer):
 
     @property
     def margin(self) -> float:
-        return self.MARGIN_PERIODS * self.PERIOD_US
+        return self._margin_us
 
     def _set_vrate(self, vrate: float) -> None:
         self.vnow()  # fold accrued time at the old rate first
@@ -265,11 +271,17 @@ class IoCostController(ThrottleLayer):
         self.sim.schedule(self.PERIOD_US, self._period_tick)
 
     def submit(self, req: IoRequest, forward: ForwardFn) -> None:
-        state = self._state(req.cgroup_path)
+        state = self._states.get(req.cgroup_path)
+        if state is None:
+            state = self._state(req.cgroup_path)
         state.last_active = self.sim.now
         self._activate(state)
-        state.pending.append((req, forward))
-        state.pending_cost += abs_cost_us(self.coefs, req)
+        key = (req.op, req.pattern, req.size)
+        abs_cost = self._cost_cache.get(key)
+        if abs_cost is None:
+            abs_cost = self._cost_cache[key] = abs_cost_us(self.coefs, req)
+        state.pending.append((req, forward, abs_cost))
+        state.pending_cost += abs_cost
         self._drain(state)
 
     def on_complete(self, req: IoRequest) -> None:
@@ -286,17 +298,23 @@ class IoCostController(ThrottleLayer):
     def _drain(self, state: _GroupCostState) -> None:
         if state.timer_armed:
             return
-        margin = self.margin
+        margin = self._margin_us
+        effective_shares = self._effective_shares
+        group_path = state.group.path
+        sim = self.sim
         while state.pending:
-            req, forward = state.pending[0]
-            share = self._effective_shares.get(state.group.path, 0.0)
+            req, forward, abs_cost = state.pending[0]
+            share = effective_shares.get(group_path, 0.0)
             if share <= 0.0:
                 # Should not happen while pending I/O keeps the group
                 # active; guard against a zero-weight configuration.
                 share = 1e-6
-            abs_cost = abs_cost_us(self.coefs, req)
             cost_v = abs_cost / share
-            vnow = self.vnow()
+            # vnow() inlined: fold wall time into the virtual clock.
+            now = sim.now
+            self._vnow += (now - self._vnow_stamp) * self.vrate
+            self._vnow_stamp = now
+            vnow = self._vnow
             if state.vtime < vnow - margin:
                 state.vtime = vnow - margin
             if state.vtime + cost_v <= vnow + margin:
@@ -341,7 +359,7 @@ class IoCostController(ThrottleLayer):
             state = self._states[path]
             if state.pending:
                 if state.timer_event is not None:
-                    state.timer_event.cancel()
+                    self.sim.cancel(state.timer_event)
                     state.timer_event = None
                     state.timer_armed = False
                 self._drain(state)

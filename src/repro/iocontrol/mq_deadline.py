@@ -36,6 +36,14 @@ from repro.iorequest import IoRequest
 # Dispatch order: realtime, then best-effort, then idle.
 _CLASS_ORDER = (PrioClass.REALTIME, PrioClass.BEST_EFFORT, PrioClass.IDLE)
 
+# Requests whose group sets no class fall into best-effort, like the
+# kernel. Keyed by both the enum member and its raw value so callers may
+# pass either.
+_EFFECTIVE_CLASS = {cls: cls for cls in _CLASS_ORDER}
+_EFFECTIVE_CLASS.update({cls.value: cls for cls in _CLASS_ORDER})
+_EFFECTIVE_CLASS[PrioClass.NONE] = PrioClass.BEST_EFFORT
+_EFFECTIVE_CLASS[PrioClass.NONE.value] = PrioClass.BEST_EFFORT
+
 # Lock-affinity skew ramps from zero below this many contending groups...
 AFFINITY_MIN_GROUPS = 6
 # ...to full strength after this many more.
@@ -89,9 +97,12 @@ class _ClassQueues:
         return best_path
 
     def oldest_entry_time(self) -> Optional[float]:
-        if not self.groups:
-            return None
-        return min(queue[0][0] for queue in self.groups.values())
+        best: Optional[float] = None
+        for queue in self.groups.values():
+            t = queue[0][0]
+            if best is None or t < best:
+                best = t
+        return best
 
 
 class MqDeadlineScheduler(IoScheduler):
@@ -118,9 +129,7 @@ class MqDeadlineScheduler(IoScheduler):
 
     @staticmethod
     def _effective_class(req: IoRequest) -> PrioClass:
-        if req.prio_class == PrioClass.NONE:
-            return PrioClass.BEST_EFFORT
-        return PrioClass(req.prio_class)
+        return _EFFECTIVE_CLASS[req.prio_class]
 
     def add(self, req: IoRequest) -> None:
         cls = self._effective_class(req)
@@ -164,6 +173,8 @@ class MqDeadlineScheduler(IoScheduler):
         # dispatch engine.
         for cls in _CLASS_ORDER:
             queues = self._queues[cls]
+            if not queues.size:
+                continue
             oldest = queues.oldest_entry_time()
             if oldest is not None and now >= oldest + self.prio_aging_expire_us:
                 path = queues.oldest_group()

@@ -401,6 +401,22 @@ class CaseComparison:
     #: ``baseline / current`` — how many times slower the current run is.
     slowdown: float
     regressed: bool
+    #: Raw (machine-dependent) median events/sec, for context alongside
+    #: the normalized numbers the verdict is computed from.
+    baseline_rate: float = 0.0
+    current_rate: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """``current / baseline`` normalized — the improvement factor."""
+        return self.current / self.baseline if self.baseline > 0 else float("inf")
+
+    @property
+    def raw_speedup(self) -> float:
+        """``current / baseline`` on raw events/sec (machine-dependent)."""
+        if self.baseline_rate > 0:
+            return self.current_rate / self.baseline_rate
+        return float("inf")
 
 
 @dataclass(frozen=True)
@@ -423,19 +439,30 @@ class CompareReport:
         return not self.regressions and not self.missing
 
     def render(self) -> str:
-        """Human-readable comparison table."""
+        """Human-readable comparison table.
+
+        The verdict column is computed on normalized rates; the raw
+        events/sec speedup is shown alongside for context (it is
+        machine-dependent and carries no pass/fail weight).
+        """
         lines = [
             f"{'case':<14s} {'baseline':>10s} {'current':>10s} "
-            f"{'slowdown':>9s}  status"
+            f"{'speedup':>8s} {'raw':>9s}  status"
         ]
         for row in self.rows:
             status = "REGRESSED" if row.regressed else "ok"
+            if row.baseline_rate > 0 and row.current_rate > 0:
+                raw = f"{row.raw_speedup:>8.2f}x"
+            else:
+                raw = f"{'-':>9s}"
             lines.append(
                 f"{row.name:<14s} {row.baseline:>10.3f} {row.current:>10.3f} "
-                f"{row.slowdown:>8.2f}x  {status}"
+                f"{row.speedup:>7.2f}x {raw}  {status}"
             )
         for name in self.missing:
-            lines.append(f"{name:<14s} {'-':>10s} {'-':>10s} {'-':>9s}  MISSING")
+            lines.append(
+                f"{name:<14s} {'-':>10s} {'-':>10s} {'-':>8s} {'-':>9s}  MISSING"
+            )
         verdict = "PASS" if self.ok else "FAIL"
         lines.append(
             f"{verdict}: {len(self.regressions)} regression(s), "
@@ -476,6 +503,8 @@ def compare_benches(
                 current=cur,
                 slowdown=slowdown,
                 regressed=slowdown > threshold,
+                baseline_rate=float(base_entry.get("median_rate", 0.0)),
+                current_rate=float(cur_entry.get("median_rate", 0.0)),
             )
         )
     return CompareReport(threshold=threshold, rows=rows, missing=missing)

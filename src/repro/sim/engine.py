@@ -1,39 +1,96 @@
 """Event loop and simulated clock.
 
 The engine is deliberately callback-based rather than coroutine-based:
-callback scheduling through a binary heap is the fastest portable way to
-run millions of events in pure Python, and the I/O pipeline modelled here
-(submit -> throttle -> schedule -> device -> complete) maps naturally onto
-chained callbacks.
+callback scheduling through a priority structure is the fastest portable
+way to run millions of events in pure Python, and the I/O pipeline
+modelled here (submit -> throttle -> schedule -> device -> complete) maps
+naturally onto chained callbacks.
+
+Two interchangeable cores produce bit-identical simulations:
+
+* the **batched** core (default): plain-list event entries ordered by
+  C-level tuple comparison, a calendar/slot-wheel front-end that buckets
+  near-future events into ``wheel_slots`` rotating slots (far-future
+  events wait in an overflow heap and migrate as the wheel turns), and a
+  same-timestamp batch-pop inner loop that fires equal-time events
+  without re-checking the stop condition between them;
+* the **legacy** core: the original single-``heappop`` loop over
+  ``_Event`` objects, kept as the differential-testing oracle behind
+  ``ISOLBENCH_ENGINE=legacy`` / ``EngineConfig(batching=False)``.
+
+Both cores preserve the exact (time, seq) total order — events scheduled
+for the same timestamp fire in FIFO scheduling order — and the O(1)
+cancellation accounting behind :meth:`Simulator.pending_events`, so every
+scenario summary is bit-identical across cores (``tests/differential/``
+asserts this end to end).
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Any, Callable
+import os
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Iterator
+
+# Batched-core entries are plain 4-item lists [time, seq, fn, consumed]:
+# heapq compares them with C-level list comparison (seq is unique, so fn
+# is never reached), which profiles ~1.8x faster than calling a Python
+# __lt__ per comparison. Index of the consumed/cancelled flag:
+_CANCELLED = 3
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
 
 
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-core selection and wheel geometry.
+
+    ``batching=True`` (the default) selects the slot-wheel batched core;
+    ``batching=False`` the legacy single-pop heap core. ``wheel_slots``
+    must be a power of two (slot lookup is a bit-mask); ``wheel_width_us``
+    is the simulated-time width of one slot, so the wheel covers a
+    ``wheel_slots * wheel_width_us`` horizon before events spill into the
+    overflow heap.
+    """
+
+    batching: bool = True
+    wheel_slots: int = 256
+    wheel_width_us: float = 4.0
+
+    @classmethod
+    def from_env(cls) -> "EngineConfig":
+        """Resolve the default config, honouring ``ISOLBENCH_ENGINE``.
+
+        ``ISOLBENCH_ENGINE=legacy`` selects the legacy single-pop core
+        (the differential-testing oracle); anything else — including
+        unset — selects the batched core. Spawned sweep workers inherit
+        the environment, so the selection survives process boundaries.
+        """
+        mode = os.environ.get("ISOLBENCH_ENGINE", "").strip().lower()
+        if mode == "legacy":
+            return cls(batching=False)
+        return cls()
+
+
 class _Event:
-    """A scheduled callback.
+    """A scheduled callback (legacy-core handle).
 
     Cancellation is implemented with a flag rather than heap removal:
     removing from the middle of a heap is O(n), flipping a flag is O(1)
     and cancelled events are simply skipped when popped. Fired events are
     flagged cancelled too (consumed), which both makes cancel-after-fire
     a no-op and lets the simulator keep an O(1) pending-event count as
-    ``len(heap) - (cancelled_total - cancelled_popped)`` with zero extra
+    ``stored - (cancelled_total - cancelled_popped)`` with zero extra
     work in the fire path beyond the flag store.
     """
 
     __slots__ = ("time", "seq", "fn", "cancelled")
 
     # Set as a class attribute on a per-simulator subclass (see
-    # Simulator.__init__) so the constructor stays four stores — event
-    # creation is the hottest allocation in the simulator.
+    # _LegacySimulator.__init__) so the constructor stays four stores —
+    # event creation is the hottest allocation in the simulator.
     sim: "Simulator"
 
     def __init__(self, time: float, seq: int, fn: Callable[[], Any]):
@@ -55,24 +112,39 @@ class _Event:
 
     @property
     def active(self) -> bool:
-        """True while the event is still pending (not fired, not cancelled).
-
-        Used by watchdog bookkeeping (repro.faults) and tests; the fire
-        loop never reads it, so it costs nothing on the hot path.
-        """
+        """True while the event is still pending (not fired, not cancelled)."""
         return not self.cancelled
 
 
 class Simulator:
     """A discrete-event simulator with a microsecond clock.
 
-    Events scheduled for the same timestamp fire in FIFO scheduling order,
-    which keeps runs deterministic.
+    Events scheduled for the same timestamp fire in FIFO scheduling
+    order, which keeps runs deterministic. ``Simulator(config)`` is a
+    factory: it returns the batched or legacy core per ``config``
+    (default :meth:`EngineConfig.from_env`); both are subclasses, so
+    ``isinstance(sim, Simulator)`` holds either way.
+
+    Event handles returned by :meth:`schedule` are core-specific opaque
+    objects — cancel and query them through the mode-agnostic
+    :meth:`cancel` / :meth:`event_active` methods.
     """
 
-    def __init__(self) -> None:
-        self._now = 0.0
-        self._heap: list[_Event] = []
+    def __new__(cls, config: "EngineConfig | None" = None):
+        if cls is Simulator:
+            cfg = config if config is not None else EngineConfig.from_env()
+            return object.__new__(
+                _BatchedSimulator if cfg.batching else _LegacySimulator
+            )
+        return object.__new__(cls)
+
+    def __init__(self, config: "EngineConfig | None" = None) -> None:
+        self.config = config if config is not None else EngineConfig.from_env()
+        # Current simulated time in microseconds. A plain attribute, not
+        # a property: it is read on every schedule/accounting step across
+        # the stack, and a descriptor call there is measurable. Clients
+        # must treat it as read-only.
+        self.now = 0.0
         self._seq = 0
         # Cancellation bookkeeping lives entirely on the rare paths:
         # cancel() bumps _cancelled_total, popping a cancelled event bumps
@@ -80,15 +152,80 @@ class Simulator:
         # arithmetic with zero per-fire cost.
         self._cancelled_total = 0
         self._cancelled_popped = 0
+
+    # -- shared, core-agnostic surface ---------------------------------
+    @property
+    def mode(self) -> str:
+        """``"batched"`` or ``"legacy"`` — which core this simulator runs."""
+        return "batched" if self.config.batching else "legacy"
+
+    def schedule_at(self, time_us: float, fn: Callable[[], Any]) -> Any:
+        """Schedule ``fn`` at an absolute simulated time."""
+        return self.schedule(time_us - self.now, fn)
+
+    def cancel(self, event: Any) -> None:
+        """Prevent a scheduled event from firing (no-op if already fired).
+
+        Works on handles from either core; the preferred spelling for
+        all engine clients (the legacy ``handle.cancel()`` still works
+        in legacy mode only).
+        """
+        if event.__class__ is list:
+            if not event[_CANCELLED]:
+                event[_CANCELLED] = True
+                self._cancelled_total += 1
+        else:
+            event.cancel()
+
+    def event_active(self, event: Any) -> bool:
+        """True while the handle's event is pending (not fired/cancelled)."""
+        if event.__class__ is list:
+            return not event[_CANCELLED]
+        return event.active
+
+    # -- core-specific surface (overridden) ----------------------------
+    def schedule(self, delay_us: float, fn: Callable[[], Any]) -> Any:
+        """Schedule ``fn`` to run ``delay_us`` microseconds from now."""
+        raise NotImplementedError
+
+    def run_until(self, end_time_us: float) -> None:
+        """Run events until the clock reaches ``end_time_us``."""
+        raise NotImplementedError
+
+    def run(self) -> None:
+        """Run until no events remain."""
+        raise NotImplementedError
+
+    def run_until_profiled(self, end_time_us: float, profiler) -> None:
+        """:meth:`run_until` with per-event phase timing."""
+        raise NotImplementedError
+
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        raise NotImplementedError
+
+    def pending_entries(self) -> Iterator[tuple[float, int, bool]]:
+        """Debug view of stored entries as ``(time, seq, active)`` tuples.
+
+        Includes cancelled-but-not-yet-popped entries with ``active=False``
+        (their storage is reclaimed lazily by the run loop). Order is
+        unspecified. For tests and diagnostics only — O(n).
+        """
+        raise NotImplementedError
+
+
+class _LegacySimulator(Simulator):
+    """The original single-pop binary-heap core (differential oracle)."""
+
+    def __init__(self, config: "EngineConfig | None" = None) -> None:
+        super().__init__(config)
+        if self.config.batching:
+            self.config = EngineConfig(batching=False)
+        self._heap: list[_Event] = []
         # Events reach their simulator through a class attribute rather
         # than an instance slot: cancel() is rare, event construction is
         # not, and this keeps the constructor as cheap as a plain event.
         self._event_cls = type("_BoundEvent", (_Event,), {"sim": self, "__slots__": ()})
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in microseconds."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -105,19 +242,15 @@ class Simulator:
     def schedule(self, delay_us: float, fn: Callable[[], Any]) -> _Event:
         """Schedule ``fn`` to run ``delay_us`` microseconds from now.
 
-        Returns an event handle whose :meth:`_Event.cancel` prevents firing.
+        Returns an event handle; :meth:`Simulator.cancel` prevents firing.
         Negative delays are rejected: an event cannot fire in the past.
         """
         if delay_us < 0:
             raise SimulationError(f"cannot schedule event {delay_us}us in the past")
-        event = self._event_cls(self._now + delay_us, self._seq, fn)
+        event = self._event_cls(self.now + delay_us, self._seq, fn)
         self._seq += 1
         heappush(self._heap, event)
         return event
-
-    def schedule_at(self, time_us: float, fn: Callable[[], Any]) -> _Event:
-        """Schedule ``fn`` at an absolute simulated time."""
-        return self.schedule(time_us - self._now, fn)
 
     def run_until(self, end_time_us: float) -> None:
         """Run events until the clock reaches ``end_time_us``.
@@ -136,9 +269,9 @@ class Simulator:
                 self._cancelled_popped += 1
                 continue
             event.cancelled = True  # consumed: cancel() is now a no-op
-            self._now = event.time
+            self.now = event.time
             event.fn()
-        self._now = max(self._now, end_time_us)
+        self.now = max(self.now, end_time_us)
 
     def run(self) -> None:
         """Run until no events remain."""
@@ -150,7 +283,7 @@ class Simulator:
                 self._cancelled_popped += 1
                 continue
             event.cancelled = True  # consumed: cancel() is now a no-op
-            self._now = event.time
+            self.now = event.time
             event.fn()
 
     def run_until_profiled(self, end_time_us: float, profiler) -> None:
@@ -188,7 +321,7 @@ class Simulator:
                 self._cancelled_popped += 1
                 continue
             event.cancelled = True  # consumed: cancel() is now a no-op
-            self._now = event.time
+            self.now = event.time
             fn = event.fn
             t0 = perf()
             fn()
@@ -204,7 +337,7 @@ class Simulator:
             t_prev = t1
             if bucket_us:
                 profiler.bucket_add(event.time, phase, elapsed)
-        self._now = max(self._now, end_time_us)
+        self.now = max(self.now, end_time_us)
         loop_end = perf()
         phase_wall["engine.pop"] += loop_end - t_prev
         profiler.loop_wall_seconds += loop_end - loop_start
@@ -217,3 +350,303 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events (O(1))."""
         return len(self._heap) - (self._cancelled_total - self._cancelled_popped)
+
+    def pending_entries(self) -> Iterator[tuple[float, int, bool]]:
+        """Debug view of heap entries as ``(time, seq, active)`` (O(n))."""
+        for event in self._heap:
+            yield (event.time, event.seq, not event.cancelled)
+
+
+class _BatchedSimulator(Simulator):
+    """Slot-wheel + batch-pop core, bit-identical to the legacy core.
+
+    Layout: time is divided into fixed-width slots numbered
+    ``slot(t) = int(t * (1 / width))``. The wheel stores the next
+    ``wheel_slots`` slot numbers starting at ``_head`` in a ring of
+    plain lists (``slots[s & mask]``); anything at or beyond the horizon
+    waits in ``_overflow`` (a heap) and migrates into the ring as the
+    head advances. ``slot()`` is monotone in ``t`` and a pure function
+    of ``t`` alone — never of the current head — so equal timestamps
+    always share a slot and slot order equals time order, with no float
+    boundary corrections needed.
+
+    A slot is heapified only when it becomes the drain target (append is
+    O(1) until then); the drain loop then pops batches of equal-time
+    entries, re-checking the stop condition once per timestamp instead
+    of once per event. Entries are [time, seq, fn, consumed] lists, so
+    ordering uses C-level list comparison (seq is unique; fn is never
+    compared).
+    """
+
+    def __init__(self, config: "EngineConfig | None" = None) -> None:
+        super().__init__(config)
+        nslots = self.config.wheel_slots
+        if nslots < 2 or nslots & (nslots - 1):
+            raise SimulationError(
+                f"wheel_slots must be a power of two >= 2, got {nslots}"
+            )
+        if not (self.config.wheel_width_us > 0.0):
+            raise SimulationError(
+                f"wheel_width_us must be positive, got {self.config.wheel_width_us}"
+            )
+        self._nslots = nslots
+        self._mask = nslots - 1
+        self._inv_width = 1.0 / self.config.wheel_width_us
+        self._slots: list[list] = [[] for _ in range(nslots)]
+        self._overflow: list = []
+        self._head = 0  # absolute slot number of the ring's drain slot
+        # Entries physically stored (ring + overflow), including
+        # cancelled-but-unpopped ones. The batched analogue of the legacy
+        # core's len(_heap): decremented exactly when an entry is popped
+        # for disposal, *before* its callback runs, so events_processed
+        # and pending_events observe the same values mid-callback as the
+        # legacy core (the sampler snapshots them mid-run).
+        self._stored = 0
+        # The slot currently being drained, if any: schedule() must
+        # heappush into it (the drain loop peeks its min), while every
+        # other slot takes a cheap append and is heapified lazily.
+        self._active: list | None = None
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (useful for perf diagnostics)."""
+        return self._seq - self._stored - self._cancelled_popped
+
+    def schedule(self, delay_us: float, fn: Callable[[], Any]) -> list:
+        """Schedule ``fn`` to run ``delay_us`` microseconds from now.
+
+        Returns an event handle for :meth:`Simulator.cancel`. Negative
+        delays are rejected: an event cannot fire in the past.
+        """
+        if delay_us < 0:
+            raise SimulationError(f"cannot schedule event {delay_us}us in the past")
+        t = self.now + delay_us
+        entry = [t, self._seq, fn, False]
+        self._seq += 1
+        self._stored += 1
+        s = int(t * self._inv_width)
+        head = self._head
+        if s < head:
+            # The head can outrun the clock when it jumps to a far-future
+            # event; an earlier arrival then belongs in the drain slot,
+            # where heap order restores time order.
+            s = head
+        d = s - head
+        if d < self._nslots:
+            slot = self._slots[s & self._mask]
+            if slot is self._active:
+                heappush(slot, entry)
+            else:
+                slot.append(entry)
+        elif self._stored == 1:
+            # Nothing else pending: re-anchor the head instead of
+            # spilling a lone long-delay chain into the overflow heap
+            # on every hop.
+            self._head = s
+            self._slots[s & self._mask].append(entry)
+        else:
+            heappush(self._overflow, entry)
+        return entry
+
+    def _advance(self) -> bool:
+        """Rotate the wheel so the head slot holds the earliest entry.
+
+        Called with the current head slot empty and entries pending
+        somewhere. Returns False only if the structure is empty. After
+        advancing, overflow entries that fell inside the new horizon are
+        migrated into the ring (each entry migrates at most once).
+        """
+        overflow = self._overflow
+        if self._stored > len(overflow):
+            # Ring non-empty: scan forward to the next occupied slot. A
+            # ring slot can only hold entries for one absolute slot
+            # number inside the current horizon, so the first occupied
+            # slot is exactly the earliest one.
+            slots = self._slots
+            mask = self._mask
+            head = self._head
+            while True:
+                head += 1
+                if slots[head & mask]:
+                    break
+            self._head = head
+        elif overflow:
+            self._head = int(overflow[0][0] * self._inv_width)
+        else:
+            return False
+        limit = self._head + self._nslots
+        inv_width = self._inv_width
+        pop = heappop
+        while overflow and int(overflow[0][0] * inv_width) < limit:
+            entry = pop(overflow)
+            s = int(entry[0] * inv_width)
+            if s < self._head:
+                s = self._head
+            self._slots[s & self._mask].append(entry)
+        return True
+
+    def _run_core(self, end_time_us: float) -> None:
+        """Drain entries in (time, seq) order up to ``end_time_us``.
+
+        The inner batch loop fires every entry sharing one timestamp
+        without re-checking the stop condition or re-storing the clock;
+        entries scheduled *during* the batch for the same timestamp have
+        larger seq values and are picked up by the same loop, exactly
+        matching the legacy pop order.
+        """
+        slots = self._slots
+        mask = self._mask
+        pop = heappop
+        while self._stored:
+            slot = slots[self._head & mask]
+            if not slot:
+                if not self._advance():
+                    break
+                slot = slots[self._head & mask]
+            if len(slot) > 1:
+                heapify(slot)
+            self._active = slot
+            while slot:
+                t = slot[0][0]
+                if t > end_time_us:
+                    self._active = None
+                    return
+                while True:
+                    entry = pop(slot)
+                    self._stored -= 1
+                    if entry[3]:
+                        self._cancelled_popped += 1
+                    else:
+                        # The clock only moves for entries that fire:
+                        # trailing cancelled entries must not drag it
+                        # forward (legacy-core parity).
+                        self.now = t
+                        entry[3] = True  # consumed: cancel() is now a no-op
+                        entry[2]()
+                    if not slot or slot[0][0] != t:
+                        break
+            self._active = None
+
+    def run_until(self, end_time_us: float) -> None:
+        """Run events until the clock reaches ``end_time_us``.
+
+        Events scheduled exactly at ``end_time_us`` are executed; the clock
+        finishes at ``end_time_us`` even if all events drain earlier.
+        """
+        self._run_core(end_time_us)
+        self.now = max(self.now, end_time_us)
+
+    def run(self) -> None:
+        """Run until no events remain."""
+        self._run_core(float("inf"))
+
+    def run_until_profiled(self, end_time_us: float, profiler) -> None:
+        """:meth:`run_until` with per-event phase timing.
+
+        A separate method rather than a branch inside the hot loop, for
+        the same reason as the legacy core: the un-profiled loop stays
+        the guarded hot path. Firing order, cancellation bookkeeping and
+        the final clock are identical to :meth:`run_until`; the profiled
+        loop additionally reads the wall clock twice per event, charges
+        the callback to its phase and the gap to ``engine.pop``, and
+        tracks the stored-entry peak (the batched analogue of the legacy
+        heap peak).
+        """
+        from time import perf_counter as perf
+
+        slots = self._slots
+        mask = self._mask
+        pop = heappop
+        phase_wall = profiler.phase_wall
+        phase_events = profiler.phase_events
+        cache = profiler._phase_cache
+        resolve = profiler.resolve_phase
+        bucket_us = profiler.bucket_us
+        # Per-event work stays O(1) and dict-light: wall time and counts
+        # accumulate per callback *code object* (a handful of keys), and
+        # are folded into the per-phase dicts once, after the loop.
+        code_wall: dict = {}
+        code_wall_get = code_wall.get
+        pop_wall = 0.0
+        heap_peak = self._stored
+        loop_start = perf()
+        t_prev = loop_start
+        stop = False
+        while self._stored and not stop:
+            slot = slots[self._head & mask]
+            if not slot:
+                if not self._advance():
+                    break
+                slot = slots[self._head & mask]
+            if len(slot) > 1:
+                heapify(slot)
+            self._active = slot
+            while slot:
+                t = slot[0][0]
+                if t > end_time_us:
+                    stop = True
+                    break
+                while True:
+                    if self._stored > heap_peak:
+                        heap_peak = self._stored
+                    entry = pop(slot)
+                    self._stored -= 1
+                    if entry[3]:
+                        self._cancelled_popped += 1
+                    else:
+                        # Clock moves only for firing entries (see
+                        # _run_core): legacy-core parity on trailing
+                        # cancelled events.
+                        self.now = t
+                        entry[3] = True  # consumed: cancel() is now a no-op
+                        fn = entry[2]
+                        t0 = perf()
+                        fn()
+                        t1 = perf()
+                        try:
+                            code = fn.__code__
+                        except AttributeError:
+                            code = None
+                        rec = code_wall_get(code)
+                        if rec is None:
+                            rec = code_wall[code] = [0.0, 0, fn]
+                        elapsed = t1 - t0
+                        rec[0] += elapsed
+                        rec[1] += 1
+                        pop_wall += t0 - t_prev
+                        t_prev = t1
+                        if bucket_us:
+                            phase = cache.get(code)
+                            if phase is None:
+                                phase = resolve(fn)
+                            profiler.bucket_add(t, phase, elapsed)
+                    if not slot or slot[0][0] != t:
+                        break
+            self._active = None
+        self.now = max(self.now, end_time_us)
+        loop_end = perf()
+        for code, (wall, count, fn) in code_wall.items():
+            phase = cache.get(code)
+            if phase is None:
+                phase = resolve(fn)
+            phase_wall[phase] = phase_wall.get(phase, 0.0) + wall
+            phase_events[phase] = phase_events.get(phase, 0) + count
+        phase_wall["engine.pop"] += pop_wall + (loop_end - t_prev)
+        profiler.loop_wall_seconds += loop_end - loop_start
+        counters = profiler.counters
+        counters["events.heap_peak"] = max(
+            counters.get("events.heap_peak", 0.0), float(heap_peak)
+        )
+        profiler.note_engine(self)
+
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._stored - (self._cancelled_total - self._cancelled_popped)
+
+    def pending_entries(self) -> Iterator[tuple[float, int, bool]]:
+        """Debug view of ring + overflow entries as ``(time, seq, active)``."""
+        for slot in self._slots:
+            for entry in slot:
+                yield (entry[0], entry[1], not entry[3])
+        for entry in self._overflow:
+            yield (entry[0], entry[1], not entry[3])

@@ -51,17 +51,26 @@ class QueuedServer:
             self._queue.append((demand_us, done))
 
     def _start(self, demand_us: float, done: Callable[[], None]) -> None:
-        self._account()
+        # The start/finish pair runs once per simulated event, so the busy
+        # integral is maintained inline here and in ``fire`` rather than
+        # through _account (kept for the cold introspection paths).
+        sim = self.sim
+        now = sim.now
+        self._busy_integral += self._busy * (now - self._last_change)
+        self._last_change = now
         self._busy += 1
-        self.sim.schedule(demand_us, lambda: self._finish(done))
 
-    def _finish(self, done: Callable[[], None]) -> None:
-        self._account()
-        self._busy -= 1
-        if self._queue:
-            demand_us, next_done = self._queue.popleft()
-            self._start(demand_us, next_done)
-        done()
+        def fire() -> None:
+            now = sim.now
+            self._busy_integral += self._busy * (now - self._last_change)
+            self._last_change = now
+            self._busy -= 1
+            if self._queue:
+                next_demand, next_done = self._queue.popleft()
+                self._start(next_demand, next_done)
+            done()
+
+        sim.schedule(demand_us, fire)
 
     @property
     def busy(self) -> int:

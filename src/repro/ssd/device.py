@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from functools import partial
 from typing import Callable
 
-from repro.iorequest import IoRequest, OpType
+from repro.iorequest import IoRequest, OpType, Pattern
 from repro.sim.engine import Simulator
 from repro.sim.resources import QueuedServer
 from repro.ssd.gc import GcState
@@ -55,10 +56,73 @@ class SimulatedNvmeDevice:
         # Optional fault runtime (repro.faults.FaultInjector): rolls
         # per-request errors and scales service costs when attached.
         self.injector = None
+        # Deterministic cost components memoized by (op, pattern) and
+        # (op, size): workloads draw from a handful of size/pattern
+        # combinations, so the model arithmetic runs once per distinct key.
+        self._fixed_cost_cache: dict[tuple, float] = {}
+        self._bus_plan_cache: dict[tuple, tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Batch cost evaluation
+    # ------------------------------------------------------------------
+    def warm_costs(self, keys) -> None:
+        """Populate the cost memos for ``(op, pattern, size)`` triples.
+
+        Unseen keys are evaluated through :meth:`SsdModel.batch_costs`
+        in one vectorized pass; because the batch path is bit-identical
+        to the scalar methods, warming never changes results — it only
+        moves the model arithmetic off the submission hot path.
+        """
+        fixed_cache = self._fixed_cost_cache
+        bus_cache = self._bus_plan_cache
+        new_fixed: dict[tuple, None] = {}
+        new_bus: dict[tuple, None] = {}
+        for op, pattern, size in keys:
+            fixed_key = (op, pattern)
+            if fixed_key not in fixed_cache:
+                new_fixed[fixed_key] = None
+            bus_key = (op, size)
+            if bus_key not in bus_cache:
+                new_bus[bus_key] = None
+        if not new_fixed and not new_bus:
+            return
+        ops: list[OpType] = []
+        patterns: list = []
+        sizes: list[int] = []
+        for op, pattern in new_fixed:
+            ops.append(op)
+            patterns.append(pattern)
+            sizes.append(0)
+        for op, size in new_bus:
+            ops.append(op)
+            patterns.append(Pattern.RANDOM)
+            sizes.append(size)
+        fixed, _bus, segments, per_segment = self.model.batch_costs(
+            ops, patterns, sizes
+        )
+        for i, key in enumerate(new_fixed):
+            fixed_cache[key] = fixed[i]
+        offset = len(new_fixed)
+        for i, key in enumerate(new_bus):
+            bus_cache[key] = (segments[offset + i], per_segment[offset + i])
+
+    def precompute_costs(self, reqs) -> None:
+        """Vectorized cost warm-up for a batch of same-tick submissions."""
+        self.warm_costs((req.op, req.pattern, req.size) for req in reqs)
 
     # ------------------------------------------------------------------
     # Submission path
     # ------------------------------------------------------------------
+    def submit_batch(self, pairs) -> None:
+        """Submit ``(req, done)`` pairs arriving at the same tick.
+
+        Equivalent to calling :meth:`submit` per pair in order, with the
+        cost memos filled by one batch evaluation up front.
+        """
+        self.precompute_costs(req for req, _ in pairs)
+        for req, done in pairs:
+            self.submit(req, done)
+
     def submit(self, req: IoRequest, done: CompletionFn) -> None:
         """Accept a request; ``done(req)`` fires at device completion."""
         if self._in_flight >= self.model.nvme_max_qd:
@@ -69,7 +133,11 @@ class SimulatedNvmeDevice:
     def _start(self, req: IoRequest, done: CompletionFn) -> None:
         req.device_start_time = self.sim.now
         self._in_flight += 1
-        flash_cost = self.model.fixed_cost_us(req.op, req.pattern) * self._noise()
+        key = (req.op, req.pattern)
+        fixed = self._fixed_cost_cache.get(key)
+        if fixed is None:
+            fixed = self._fixed_cost_cache[key] = self.model.fixed_cost_us(*key)
+        flash_cost = fixed * self._noise()
         if req.op == OpType.WRITE:
             flash_cost = self.gc.amplify(flash_cost)
         injector = self.injector
@@ -79,17 +147,23 @@ class SimulatedNvmeDevice:
                 # The failing attempt still occupies a flash unit for its
                 # abort/ECC-retry cost, then completes with the error flag
                 # set — the host's RetryCoordinator takes it from there.
-                self.flash.submit(error_cost, lambda: self._finish_failed(req, done))
+                self.flash.submit(error_cost, partial(self._finish_failed, req, done))
                 return
             flash_cost *= injector.service_multiplier(req.op, self.sim.now)
-        self.flash.submit(flash_cost, lambda: self._bus_phase(req, done))
+        self.flash.submit(flash_cost, partial(self._bus_phase, req, done))
 
     def _bus_phase(self, req: IoRequest, done: CompletionFn) -> None:
         # Large transfers occupy the bus one segment at a time so small
         # requests can interleave (see SsdModel.bus_segment_bytes).
-        segment = self.model.bus_segment_bytes
-        remaining_segments = max(1, -(-req.size // segment))
-        per_segment_cost = self.model.bus_cost_us(req.op, req.size) / remaining_segments
+        key = (req.op, req.size)
+        plan = self._bus_plan_cache.get(key)
+        if plan is None:
+            segments = max(1, -(-req.size // self.model.bus_segment_bytes))
+            plan = self._bus_plan_cache[key] = (
+                segments,
+                self.model.bus_cost_us(req.op, req.size) / segments,
+            )
+        remaining_segments, per_segment_cost = plan
         if req.op == OpType.WRITE:
             per_segment_cost = self.gc.amplify(per_segment_cost)
         if self.injector is not None:
@@ -106,7 +180,7 @@ class SimulatedNvmeDevice:
             self._finish(req, done)
             return
         self.bus.submit(
-            cost, lambda: self._bus_segment(req, done, cost, remaining - 1)
+            cost, partial(self._bus_segment, req, done, cost, remaining - 1)
         )
 
     def _finish(self, req: IoRequest, done: CompletionFn) -> None:

@@ -9,8 +9,10 @@ drain -- when a window closes.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable
+import zlib
+from typing import Callable, Optional
 
 from repro.iorequest import IoRequest, OpType
 from repro.sim.engine import Simulator
@@ -31,6 +33,7 @@ class App:
         rng: random.Random,
         device_index: int = 0,
         prio_class: int = 0,
+        arrival_rng: Optional[random.Random] = None,
     ):
         self.sim = sim
         self.spec = spec
@@ -40,25 +43,42 @@ class App:
         self.prio_class = prio_class
         self.outstanding = 0
         self.issued = 0
+        # Macro-tick mode draws inter-arrival gaps from a dedicated
+        # stream so the op-direction stream (self.rng) is untouched.
+        self._arrival_rng = arrival_rng
+        self._arrival_carry: dict = {}
         self._bucket: TokenBucket | None = None
         if spec.rate_limit_bps is not None:
             rate_per_us = spec.rate_limit_bps / 1e6
             self._bucket = TokenBucket(rate_per_us, burst=float(spec.size))
+        # Always-on jobs (the default single [0, inf) window) skip the
+        # window scan on every refill/issue.
+        self._always_active = (
+            len(spec.windows) == 1
+            and spec.windows[0].start_us == 0.0
+            and spec.windows[0].stop_us == math.inf
+        )
 
     def start(self) -> None:
         """Arm window-start events."""
         if self.spec.arrival_rate_iops is not None:
-            for window in self.spec.windows:
-                self.sim.schedule_at(
-                    window.start_us, lambda w=window: self._arrive(w)
-                )
+            if self.spec.macro_tick_us is not None:
+                for window in self.spec.windows:
+                    self.sim.schedule_at(
+                        window.start_us, lambda w=window: self._macro_tick(w)
+                    )
+            else:
+                for window in self.spec.windows:
+                    self.sim.schedule_at(
+                        window.start_us, lambda w=window: self._arrive(w)
+                    )
         else:
             for window in self.spec.windows:
                 self.sim.schedule_at(window.start_us, self._fill)
 
     # ------------------------------------------------------------------
     def _active(self) -> bool:
-        return self.spec.active_at(self.sim.now)
+        return self._always_active or self.spec.active_at(self.sim.now)
 
     def _arrive(self, window) -> None:
         """Open-loop Poisson arrivals, one chain per activity window."""
@@ -69,13 +89,53 @@ class App:
         gap = self.rng.expovariate(self.spec.arrival_rate_iops / 1e6)
         self.sim.schedule(gap, lambda: self._arrive(window))
 
+    def _macro_tick(self, window) -> None:
+        """Open-loop arrivals, one engine callback per macro tick.
+
+        Every arrival whose (pre-drawn) Poisson timestamp falls inside
+        ``[now, now + macro_tick_us)`` is issued together at the tick
+        boundary; the residual gap carries into the next tick so the
+        long-run arrival rate is exact. Compared to :meth:`_arrive`
+        this quantizes submit times to the tick but replaces one engine
+        callback per request with one per tick.
+        """
+        if not window.start_us <= self.sim.now < window.stop_us:
+            return
+        tick = self.spec.macro_tick_us
+        arrival_rng = self._arrival_rng
+        if arrival_rng is None:
+            arrival_rng = self._arrival_rng = random.Random(
+                zlib.crc32(self.spec.name.encode())
+            )
+        expovariate = arrival_rng.expovariate
+        rate_per_us = self.spec.arrival_rate_iops / 1e6
+        carry = self._arrival_carry.pop(window, None)
+        if carry is None:
+            # First tick of this window: draw the gap to its first arrival.
+            carry = expovariate(rate_per_us)
+        count = 0
+        while carry < tick:
+            count += 1
+            carry += expovariate(rate_per_us)
+        self._arrival_carry[window] = carry - tick
+        for _ in range(count):
+            self.outstanding += 1
+            self._issue_one()
+        self.sim.schedule(tick, lambda: self._macro_tick(window))
+
     def _fill(self) -> None:
         """Top the queue back up to the configured depth."""
-        while self._active() and self.outstanding < self.spec.queue_depth:
+        queue_depth = self.spec.queue_depth
+        bucket = self._bucket
+        if bucket is None:
+            while self.outstanding < queue_depth and self._active():
+                self.outstanding += 1
+                self._issue_one()
+            return
+        size = float(self.spec.size)
+        while self._active() and self.outstanding < queue_depth:
             self.outstanding += 1
-            delay = 0.0
-            if self._bucket is not None:
-                delay = self._bucket.reserve(float(self.spec.size), self.sim.now)
+            delay = bucket.reserve(size, self.sim.now)
             if delay > 0:
                 self.sim.schedule(delay, self._issue_one)
             else:
@@ -86,17 +146,18 @@ class App:
             # The window closed while this submission was rate-delayed.
             self.outstanding -= 1
             return
+        spec = self.spec
         op = (
             OpType.READ
-            if self.rng.random() < self.spec.read_fraction
+            if self.rng.random() < spec.read_fraction
             else OpType.WRITE
         )
         req = IoRequest(
-            app_name=self.spec.name,
-            cgroup_path=self.spec.cgroup_path,
+            app_name=spec.name,
+            cgroup_path=spec.cgroup_path,
             op=op,
-            pattern=self.spec.pattern,
-            size=self.spec.size,
+            pattern=spec.pattern,
+            size=spec.size,
             device_index=self.device_index,
             prio_class=self.prio_class,
         )

@@ -51,6 +51,14 @@ class JobSpec:
     # behind "bursty apps" (D4). ``queue_depth`` is ignored; backlog can
     # grow without bound under overload, as in real open-loop clients.
     arrival_rate_iops: float | None = None
+    # Macro-tick arrival batching (opt-in, open-loop only): when set,
+    # arrivals are drawn in blocks from a dedicated RNG stream and all
+    # arrivals falling inside one tick are issued together at the tick
+    # boundary -- one engine callback per tick instead of one per
+    # request. Submission times are quantized to the tick, so enable it
+    # only where that coarsening is acceptable (throughput studies, not
+    # per-request latency tails).
+    macro_tick_us: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -68,6 +76,11 @@ class JobSpec:
                 raise ValueError("arrival rate must be positive when set")
             if self.rate_limit_bps is not None:
                 raise ValueError("open-loop jobs cannot also set a rate limit")
+        if self.macro_tick_us is not None:
+            if self.arrival_rate_iops is None:
+                raise ValueError("macro_tick_us requires arrival_rate_iops")
+            if self.macro_tick_us <= 0:
+                raise ValueError("macro_tick_us must be positive when set")
         if not self.windows:
             raise ValueError("a job needs at least one activity window")
         ordered = sorted(self.windows, key=lambda w: w.start_us)
@@ -81,7 +94,10 @@ class JobSpec:
 
     def active_at(self, time_us: float) -> bool:
         """Whether the job issues I/O at ``time_us``."""
-        return any(w.start_us <= time_us < w.stop_us for w in self.windows)
+        for w in self.windows:
+            if w.start_us <= time_us < w.stop_us:
+                return True
+        return False
 
 
 @dataclass(frozen=True)

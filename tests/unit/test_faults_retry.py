@@ -133,7 +133,7 @@ class TestWatchdog:
         h = Harness(self.POLICY)
         req = make_request()
         h.coordinator.watch(req)
-        assert req.timeout_event is not None and req.timeout_event.active
+        assert req.timeout_event is not None and h.sim.event_active(req.timeout_event)
         h.sim.run()  # nothing ever completes req: the watchdog fires
         assert req.abandoned is True
         assert h.coordinator.stats.timeouts == 1

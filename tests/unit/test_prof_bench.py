@@ -2,11 +2,14 @@
 
 import copy
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.prof import bench
 from repro.tools.cli import main
+
+TRAJECTORY_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "trajectory"
 
 
 def synthetic_record(norms: dict[str, float]) -> dict:
@@ -115,6 +118,58 @@ class TestCompare:
         record = synthetic_record({"a": 0.5})
         with pytest.raises(ValueError, match="threshold"):
             bench.compare_benches(record, record, threshold=1.0)
+
+    def test_raw_rates_surface_in_rows_and_render(self):
+        baseline = synthetic_record({"a": 0.5})
+        current = synthetic_record({"a": 0.5})
+        baseline["cases"]["a"]["median_rate"] = 100_000.0
+        current["cases"]["a"]["median_rate"] = 150_000.0
+        report = bench.compare_benches(baseline, current)
+        row = report.rows[0]
+        assert row.raw_speedup == pytest.approx(1.5)
+        assert row.speedup == pytest.approx(1.0)
+        assert "1.50x" in report.render()
+
+
+class TestCommittedTrajectory:
+    """The committed BENCH_0001 -> BENCH_0002 pair records the engine
+    rewrite's measured improvement; compare must report it (and still
+    flag a synthetic regression against the new record)."""
+
+    def records(self) -> tuple[dict, dict]:
+        base = bench.load_bench(TRAJECTORY_DIR / "BENCH_0001.json")
+        cur = bench.load_bench(TRAJECTORY_DIR / "BENCH_0002.json")
+        return base, cur
+
+    def test_bench_0002_is_full_record_matching_baseline_shape(self):
+        base, cur = self.records()
+        assert cur["mini"] is False and base["mini"] is False
+        assert cur["repeats"] == base["repeats"] == 3
+        assert cur["workers"] == base["workers"] == 2
+        assert set(cur["cases"]) == set(base["cases"])
+
+    def test_compare_reports_improvement(self):
+        base, cur = self.records()
+        report = bench.compare_benches(base, cur)
+        assert report.ok, report.render()
+        # Every pinned case got faster in raw events/sec; the profiled
+        # cases (engine hot loop) by a healthy margin.
+        for row in report.rows:
+            assert row.raw_speedup > 1.0, row
+        profiled = {r.name: r for r in report.rows if r.name != "exec-batch"}
+        assert all(r.raw_speedup > 1.2 for r in profiled.values()), profiled
+        assert "PASS" in report.render()
+
+    def test_synthetic_regression_vs_bench_0002_is_flagged(self):
+        _, cur = self.records()
+        slowed = copy.deepcopy(cur)
+        for entry in slowed["cases"].values():
+            entry["median_normalized"] = entry["median_normalized"] / 2.0
+            entry["median_rate"] = entry["median_rate"] / 2.0
+        report = bench.compare_benches(cur, slowed)
+        assert not report.ok
+        assert len(report.regressions) == len(cur["cases"])
+        assert "REGRESSED" in report.render() and "FAIL" in report.render()
 
 
 class TestRunBench:
