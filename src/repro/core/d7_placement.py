@@ -1,0 +1,140 @@
+"""D7: fleet placement — does interference-awareness pay at fleet scale?
+
+D1-D6 study one device; D7 asks the operator's next question: with a
+fleet of hosts and devices and tenants that must land *somewhere*, how
+much isolation does the **placement decision** buy before any cgroup
+knob is turned, and how much does per-device tuning recover afterwards?
+
+The experiment measures the fleet's pairwise interference matrix once
+(solo + pair scenarios through the cached sweep executor), places the
+tenants with each strategy (``random``, ``binpack``, ``serifos``), then
+evaluates every resulting placement for real: each occupied device runs
+its co-location scenario, contended devices are knob-tuned through the
+:mod:`repro.tune` advisor, and each strategy gets one fleet-wide
+SLO-violation score.
+
+The expected outcome mirrors the paper's single-device findings
+composed at scale: random placement co-locates latency-critical tenants
+with saturating batch tenants and blows their p99 ceilings (O1/O2);
+bin-packing protects latency by accident but crams the batch tenants
+together, violating bandwidth floors; the interference-aware strategy
+avoids both, and what violations remain are the genuine capacity
+conflicts tuning cannot repair (the D3 throughput/latency trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.exec.executor import SweepExecutor
+from repro.fleet.interference import InterferenceMatrix, build_matrix
+from repro.fleet.placement import STRATEGIES, place
+from repro.fleet.report import (
+    PlacementReport,
+    PlacementSettings,
+    evaluate_placement,
+    mini_settings,
+    quick_settings,
+)
+from repro.fleet.spec import FleetSpec, demo_fleet
+
+__all__ = [
+    "PlacementComparison",
+    "compare_placements",
+    "demo_fleet",
+    "mini_settings",
+    "quick_settings",
+]
+
+
+@dataclass
+class PlacementComparison:
+    """Every strategy's measured outcome on one fleet, side by side."""
+
+    #: The fleet that was placed.
+    fleet_name: str
+    #: Seed the random strategy drew from.
+    seed: int
+    #: The measured interference matrix all strategies shared.
+    matrix: InterferenceMatrix
+    #: Strategy name -> its full placement report, in run order.
+    reports: dict[str, PlacementReport] = field(default_factory=dict)
+
+    def best(self) -> str:
+        """The winning strategy: lowest fleet score, name tie-break."""
+        if not self.reports:
+            raise ValueError("comparison holds no strategy reports")
+        return min(
+            self.reports, key=lambda name: (self.reports[name].fleet_score, name)
+        )
+
+    def score_of(self, strategy: str) -> float:
+        """One strategy's fleet-wide SLO-violation score."""
+        return self.reports[strategy].fleet_score
+
+    def render(self) -> str:
+        """The comparison table plus each strategy's device table."""
+        headers = ("strategy", "fleet score", "meets SLO", "evicted", "migrations")
+        rows = []
+        for name, report in self.reports.items():
+            rows.append(
+                (
+                    name,
+                    f"{report.fleet_score:.3f}",
+                    "yes" if report.meets_slo else "no",
+                    len(report.placement.evicted),
+                    len(report.placement.migrations),
+                )
+            )
+        parts = [
+            render_table(
+                headers, rows, title=f"fleet {self.fleet_name!r} (seed {self.seed})"
+            )
+        ]
+        parts.extend(report.render() for report in self.reports.values())
+        parts.append(f"best strategy: {self.best()}")
+        return "\n\n".join(parts)
+
+    def to_json_dict(self) -> dict:
+        """Golden-friendly document: matrix, per-strategy reports, winner."""
+        return {
+            "fleet_name": self.fleet_name,
+            "seed": self.seed,
+            "best": self.best(),
+            "scores": {
+                name: self.reports[name].fleet_score for name in self.reports
+            },
+            "matrix": self.matrix.to_json_dict(),
+            "reports": {
+                name: self.reports[name].to_json_dict() for name in self.reports
+            },
+        }
+
+
+def compare_placements(
+    fleet: FleetSpec | None = None,
+    strategies: tuple[str, ...] = STRATEGIES,
+    settings: PlacementSettings | None = None,
+    seed: int = 42,
+    executor: SweepExecutor | None = None,
+) -> PlacementComparison:
+    """Run the D7 experiment: one matrix, every strategy, one scoreboard.
+
+    The matrix is measured once and shared; each strategy's placement
+    and evaluation then runs against the same cached scenario pool, so
+    the whole comparison is deterministic at any worker count and a
+    rerun against a warm cache executes only the advisor's new probes.
+    """
+    fleet = fleet or demo_fleet()
+    settings = settings or PlacementSettings()
+    matrix = build_matrix(fleet, settings.matrix, executor=executor)
+    comparison = PlacementComparison(
+        fleet_name=fleet.name, seed=seed, matrix=matrix
+    )
+    for strategy in strategies:
+        placement = place(fleet, matrix, strategy, seed=seed)
+        comparison.reports[strategy] = evaluate_placement(
+            fleet, placement, matrix, settings=settings, executor=executor
+        )
+    return comparison

@@ -84,7 +84,7 @@ class Host:
             self.sim,
             ssd_model,
             scenario.num_devices,
-            self.rngs.stream("device"),
+            self.rngs,
             preconditioned=scenario.preconditioned,
         )
         self.core_set = CoreSet(self.sim, scenario.cores)

@@ -1,0 +1,65 @@
+"""Fleet-scale tenant placement over simulated NVMe devices.
+
+The paper answers "does Linux isolate tenants sharing *one* NVMe SSD?";
+this package scales the question out: given a fleet of hosts and
+devices and a set of tenants with SLOs, *where* should each tenant run,
+and how should the chosen device's cgroup knobs be configured? The
+pipeline is
+
+1. :mod:`repro.fleet.spec` — describe the fleet and its tenants
+   (:func:`~repro.fleet.spec.demo_fleet` is the pinned example);
+2. :mod:`repro.fleet.interference` — measure every tenant solo and
+   every pair co-located, producing an
+   :class:`~repro.fleet.interference.InterferenceMatrix` of p99
+   inflations and bandwidth retentions;
+3. :mod:`repro.fleet.placement` — assign tenants to device slots with
+   a ``random`` / ``binpack`` / ``serifos`` strategy, then shed load
+   from saturated devices (migration/eviction);
+4. :mod:`repro.fleet.report` — measure what each placement actually
+   delivers, tune each contended device's knobs through the
+   :mod:`repro.tune` advisor, and roll everything into one fleet-wide
+   SLO-violation score.
+
+``isol-bench place`` drives the whole pipeline; ``docs/fleet.md``
+documents the methodology and its limits.
+"""
+
+from repro.fleet.interference import (
+    MINI_MATRIX,
+    QUICK_MATRIX,
+    InterferenceMatrix,
+    MatrixSettings,
+    PairEffect,
+    TenantMeasure,
+    build_matrix,
+)
+from repro.fleet.placement import Migration, Placement, STRATEGIES, place
+from repro.fleet.report import (
+    DeviceEvaluation,
+    PlacementReport,
+    PlacementSettings,
+    evaluate_placement,
+)
+from repro.fleet.spec import FleetSpec, TenantSpec, demo_fleet, load_fleet
+
+__all__ = [
+    "FleetSpec",
+    "TenantSpec",
+    "demo_fleet",
+    "load_fleet",
+    "InterferenceMatrix",
+    "MatrixSettings",
+    "MINI_MATRIX",
+    "QUICK_MATRIX",
+    "PairEffect",
+    "TenantMeasure",
+    "build_matrix",
+    "Migration",
+    "Placement",
+    "STRATEGIES",
+    "place",
+    "DeviceEvaluation",
+    "PlacementReport",
+    "PlacementSettings",
+    "evaluate_placement",
+]

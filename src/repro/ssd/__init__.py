@@ -16,13 +16,14 @@ simulator runs at; see :mod:`repro.ssd.presets`.
 
 from repro.ssd.model import SsdModel
 from repro.ssd.device import SimulatedNvmeDevice
-from repro.ssd.array import SsdArray
+from repro.ssd.array import PLACEMENT_STREAM, SsdArray
 from repro.ssd.presets import samsung_980pro_like, intel_optane_like
 
 __all__ = [
     "SsdModel",
     "SimulatedNvmeDevice",
     "SsdArray",
+    "PLACEMENT_STREAM",
     "samsung_980pro_like",
     "intel_optane_like",
 ]

@@ -11,6 +11,7 @@ Subcommands mirror the benchmark suite::
     isol-bench table1 [--quick] [--workers N] [--no-cache]  # Table I
     isol-bench d5 [--quick|--mini] [--faults a,b]  # robustness ranking
     isol-bench tune --slo ... [--knob auto] [--budget N]  # SLO autotuner
+    isol-bench place [--fleet spec.json] [--strategy serifos]  # fleet placement
     isol-bench bench [--mini] [--compare]    # pinned perf suite + trajectory
     isol-bench cache stats|path|clear        # result-cache maintenance
 
@@ -390,6 +391,56 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_place(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.core.d7_placement import (
+        compare_placements,
+        mini_settings,
+        quick_settings,
+    )
+    from repro.fleet.placement import STRATEGIES
+    from repro.fleet.report import PlacementSettings
+    from repro.fleet.spec import apply_slo_overrides, demo_fleet, load_fleet
+    from repro.tune.slo import parse_slo
+
+    if args.mini:
+        settings = mini_settings()
+    elif args.quick:
+        settings = quick_settings()
+    else:
+        settings = PlacementSettings()
+    if args.budget is not None:
+        settings = replace(settings, budget=args.budget)
+    try:
+        fleet = load_fleet(args.fleet) if args.fleet else demo_fleet()
+        if args.slo:
+            fleet = apply_slo_overrides(fleet, parse_slo(args.slo))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    strategies = STRATEGIES if args.strategy == "all" else (args.strategy,)
+
+    with _build_executor(args) as executor:
+        comparison = compare_placements(
+            fleet,
+            strategies=strategies,
+            settings=settings,
+            seed=args.seed,
+            executor=executor,
+        )
+        stats = executor.stats
+    print(comparison.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(comparison.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote placement JSON: {args.json}")
+    print(_sweep_stats_line(executor))
+    print(_perf_line(stats.events_processed, stats.elapsed_seconds))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -618,6 +669,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(p)
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser(
+        "place",
+        help="place fleet tenants on devices and compare strategies",
+    )
+    p.add_argument(
+        "--fleet",
+        default=None,
+        help="fleet spec JSON (default: the pinned demo fleet)",
+    )
+    p.add_argument(
+        "--slo",
+        default=None,
+        help="override tenant SLOs, e.g. '/tenants/lc-api:p99<=100;"
+        "/tenants/batch-etl:bw>=1000' (cgroups must name fleet tenants)",
+    )
+    p.add_argument(
+        "--strategy",
+        default="all",
+        choices=("all", "random", "binpack", "serifos"),
+        help="placement strategy to run (default: all three, compared)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="advisor evaluations per knob per device"
+    )
+    p.add_argument("--seed", type=int, default=42, help="random-strategy seed")
+    p.add_argument("--quick", action="store_true", help="reduced effort level")
+    p.add_argument(
+        "--mini", action="store_true", help="smoke effort level (CI; seconds)"
+    )
+    p.add_argument("--json", default=None, help="also write the comparison as JSON")
+    _add_executor_args(p)
+    p.set_defaults(fn=_cmd_place)
 
     p = sub.add_parser(
         "bench",

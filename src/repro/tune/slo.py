@@ -112,6 +112,31 @@ _GROUP_TERM_RE = re.compile(r"^(p99<=|bw>=)\s*([0-9.eE+-]+)\s*(us|mib)?$")
 _UTIL_RE = re.compile(r"^util>=\s*([0-9.eE+-]+)$")
 
 
+def parse_group_terms(terms_text: str) -> tuple[float | None, float | None]:
+    """Parse one group's ``p99<=N,bw>=N`` term list.
+
+    This is the per-group half of the :func:`parse_slo` grammar, exposed
+    on its own so other subsystems (``repro.fleet``'s tenant SLOs) can
+    reuse the exact syntax without synthesizing a full spec string.
+    Returns ``(p99_latency_us, min_bandwidth_mib_s)``; either side is
+    None when its term is absent.
+    """
+    p99 = bandwidth = None
+    for term in terms_text.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        match = _GROUP_TERM_RE.match(term)
+        if not match:
+            raise ValueError(f"cannot parse SLO term {term!r} in {terms_text!r}")
+        value = float(match.group(2))
+        if match.group(1) == "p99<=":
+            p99 = value
+        else:
+            bandwidth = value
+    return p99, bandwidth
+
+
 def parse_slo(text: str) -> SloSpec:
     """Parse the CLI's compact SLO syntax into an :class:`SloSpec`.
 
@@ -141,16 +166,7 @@ def parse_slo(text: str) -> SloSpec:
                 f"cannot parse SLO clause {clause!r}; expected "
                 f"'/cgroup:p99<=N,bw>=N' or 'util>=F'"
             )
-        p99 = bandwidth = None
-        for term in terms_text.split(","):
-            match = _GROUP_TERM_RE.match(term.strip())
-            if not match:
-                raise ValueError(f"cannot parse SLO term {term!r} in {clause!r}")
-            value = float(match.group(2))
-            if match.group(1) == "p99<=":
-                p99 = value
-            else:
-                bandwidth = value
+        p99, bandwidth = parse_group_terms(terms_text)
         groups.append(
             GroupSlo(cgroup=path, p99_latency_us=p99, min_bandwidth_mib_s=bandwidth)
         )

@@ -1,0 +1,150 @@
+"""Golden regression for D7 fleet placement, plus its determinism bars.
+
+Mirrors ``test_tune_golden.py``: one cold ``--mini`` placement
+comparison of all three strategies runs in tier-1 (seconds) against the
+golden in ``tests/data/place_mini_golden.json``. The same module-scoped
+run anchors the ISSUE's acceptance bars: the serifos consolidator
+strictly beats random placement on the pinned fleet, a 2-worker run
+reproduces the whole comparison bit-identically, and a rerun against
+the warm cache executes zero new scenarios.
+
+Assignments, evictions, winner and ranking compare exactly; scores with
+a tolerance (the simulator is deterministic, so the tolerance only
+absorbs deliberate small re-calibrations — anything larger should be
+acknowledged by regenerating the golden).
+
+Regenerate after an intentional simulator change::
+
+    PYTHONPATH=src python -m tests.integration.test_fleet_golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.d7_placement import compare_placements, mini_settings
+from repro.exec import ResultCache, SweepExecutor
+from repro.fleet.interference import build_matrix
+from repro.fleet.spec import demo_fleet
+
+DATA_DIR = pathlib.Path(__file__).parent.parent / "data"
+MINI_GOLDEN = DATA_DIR / "place_mini_golden.json"
+
+#: Relative tolerance for scores; structure/winner compare exactly.
+REL_TOL = 0.5
+#: Absolute slack so near-zero (fully-repaired) scores compare stably.
+ABS_TOL = 0.02
+
+
+def assert_matches_golden(comparison, golden_path: pathlib.Path) -> None:
+    golden = json.loads(golden_path.read_text())
+    doc = comparison.to_json_dict()
+    assert doc["fleet_name"] == golden["fleet_name"]
+    assert doc["seed"] == golden["seed"]
+    assert doc["best"] == golden["best"]
+    assert sorted(doc["reports"]) == sorted(golden["reports"])
+    for strategy, expected in golden["reports"].items():
+        measured = doc["reports"][strategy]
+        placement = measured["placement"]
+        assert placement["assignment"] == expected["placement"]["assignment"], (
+            strategy
+        )
+        assert placement["evicted"] == expected["placement"]["evicted"], strategy
+        assert doc["scores"][strategy] == pytest.approx(
+            golden["scores"][strategy], rel=REL_TOL, abs=ABS_TOL
+        ), strategy
+        for mine, theirs in zip(
+            measured["devices"], expected["devices"], strict=True
+        ):
+            assert mine["slot"] == theirs["slot"], strategy
+            assert mine["tenants"] == theirs["tenants"], strategy
+            assert mine["tuned"] == theirs["tuned"], strategy
+
+
+@pytest.fixture(scope="module")
+def mini_run(tmp_path_factory):
+    """One cold mini placement comparison against a fresh cache."""
+    cache_dir = tmp_path_factory.mktemp("fleet-cache")
+    with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as executor:
+        comparison = compare_placements(
+            settings=mini_settings(), executor=executor
+        )
+        stats = executor.stats
+    # The evaluation stage reuses the matrix's solo/pair scenarios, so a
+    # cold run still hits its own cache — but most work executes.
+    assert stats.executed > 0
+    return comparison, cache_dir, stats
+
+
+class TestMiniPlacement:
+    def test_matches_golden(self, mini_run):
+        comparison, _, _ = mini_run
+        assert_matches_golden(comparison, MINI_GOLDEN)
+
+    def test_serifos_strictly_beats_random(self, mini_run):
+        """The acceptance bar: interference-awareness pays on this fleet."""
+        comparison, _, _ = mini_run
+        assert comparison.score_of("serifos") < comparison.score_of("random")
+        assert comparison.best() == "serifos"
+        assert comparison.reports["serifos"].meets_slo
+
+    def test_no_strategy_sheds_tenants_on_the_demo_fleet(self, mini_run):
+        comparison, _, _ = mini_run
+        for strategy, report in comparison.reports.items():
+            assert report.placement.evicted == (), strategy
+
+    def test_warm_cache_executes_zero_scenarios(self, mini_run):
+        comparison, cache_dir, cold_stats = mini_run
+        with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as warm:
+            rerun = compare_placements(settings=mini_settings(), executor=warm)
+            assert warm.stats.executed == 0
+            assert warm.stats.failed == 0
+            assert warm.stats.cached + warm.stats.deduped >= cold_stats.executed
+        assert rerun.to_json_dict() == comparison.to_json_dict()
+        assert rerun.render() == comparison.render()
+
+    def test_two_worker_run_bit_identical_to_serial(self, mini_run):
+        """The ISSUE's determinism bar: --workers 2 vs serial, uncached."""
+        comparison, _, _ = mini_run
+        with SweepExecutor(max_workers=2) as pool:
+            parallel = compare_placements(settings=mini_settings(), executor=pool)
+            assert pool.stats.executed > 0  # genuinely recomputed
+        assert parallel.to_json_dict() == comparison.to_json_dict()
+        assert parallel.render() == comparison.render()
+
+
+class TestMatrixCache:
+    def test_matrix_warm_rebuild_is_identical_and_free(self, tmp_path):
+        """Cold vs warm matrix builds: same numbers, zero re-execution."""
+        fleet = demo_fleet()
+        settings = mini_settings().matrix
+        cache = ResultCache(tmp_path / "matrix-cache")
+        with SweepExecutor(max_workers=1, cache=cache) as cold:
+            first = build_matrix(fleet, settings, executor=cold)
+            assert cold.stats.executed > 0
+            assert cold.stats.cached == 0
+        with SweepExecutor(max_workers=1, cache=cache) as warm:
+            second = build_matrix(fleet, settings, executor=warm)
+            assert warm.stats.executed == 0
+        assert second.to_json_dict() == first.to_json_dict()
+        # The matrix in the pinned golden is this very build.
+        golden = json.loads(MINI_GOLDEN.read_text())
+        assert sorted(first.to_json_dict()["solo"]) == sorted(
+            golden["matrix"]["solo"]
+        )
+
+
+def _regenerate() -> None:
+    with SweepExecutor(max_workers=None) as executor:
+        comparison = compare_placements(settings=mini_settings(), executor=executor)
+    MINI_GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    MINI_GOLDEN.write_text(
+        json.dumps(comparison.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    print(comparison.render())
+    print(f"wrote {MINI_GOLDEN}")
+
+
+if __name__ == "__main__":
+    _regenerate()

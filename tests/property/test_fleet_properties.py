@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the placement strategies.
+
+Against *any* fleet shape and *any* synthetic interference matrix, every
+strategy — including the greedy consolidator with its rebalance and
+saturation passes — must produce a placement that (a) never exceeds the
+per-device tenant capacity, (b) accounts for every tenant exactly once
+(placed or evicted), and (c) is a deterministic function of its inputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.interference import InterferenceMatrix, PairEffect, TenantMeasure
+from repro.fleet.placement import STRATEGIES, place
+from repro.fleet.spec import FleetSpec, TenantSpec
+
+KINDS = ("lc", "batch", "be")
+SLOS = ("", "p99<=100", "bw>=500", "p99<=100,bw>=500")
+
+
+@st.composite
+def fleets(draw):
+    """Small random fleets: 1-3 hosts x 1-3 devices, 1-8 tenants."""
+    n_tenants = draw(st.integers(1, 8))
+    tenants = tuple(
+        TenantSpec(
+            f"t{i}",
+            kind=draw(st.sampled_from(KINDS)),
+            slo=draw(st.sampled_from(SLOS)),
+        )
+        for i in range(n_tenants)
+    )
+    return FleetSpec(
+        name="prop",
+        hosts=draw(st.integers(1, 3)),
+        devices_per_host=draw(st.integers(1, 3)),
+        max_tenants_per_device=draw(st.integers(1, 3)),
+        saturation_threshold=draw(
+            st.floats(1.0, 25.0, allow_nan=False, allow_infinity=False)
+        ),
+        tenants=tenants,
+    )
+
+
+@st.composite
+def matrices(draw, fleet: FleetSpec) -> InterferenceMatrix:
+    """A synthetic matrix with arbitrary (clamped-legal) effects."""
+    solo = {
+        name: TenantMeasure(
+            p99_us=draw(st.floats(10.0, 10_000.0)),
+            bandwidth_mib_s=draw(st.floats(1.0, 5_000.0)),
+        )
+        for name in fleet.tenant_names()
+    }
+    effects = {}
+    for tenant in fleet.tenant_names():
+        for partner in fleet.tenant_names():
+            if tenant == partner:
+                continue
+            effects[(tenant, partner)] = PairEffect(
+                tenant=tenant,
+                partner=partner,
+                p99_ratio=draw(st.floats(1.0, 1_000.0)),
+                bandwidth_retention=draw(st.floats(0.001, 1.0)),
+            )
+    return InterferenceMatrix(fleet_name=fleet.name, solo=solo, effects=effects)
+
+
+@st.composite
+def placement_cases(draw):
+    fleet = draw(fleets())
+    matrix = draw(matrices(fleet))
+    strategy = draw(st.sampled_from(STRATEGIES))
+    seed = draw(st.integers(0, 2**31))
+    return fleet, matrix, strategy, seed
+
+
+@given(placement_cases())
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded_and_everyone_accounted(case):
+    fleet, matrix, strategy, seed = case
+    placement = place(fleet, matrix, strategy, seed=seed)
+    placed = [name for names in placement.assignment.values() for name in names]
+    # (a) hard capacity bound on every device, even after rebalancing,
+    # migration and eviction.
+    for slot, names in placement.assignment.items():
+        assert len(names) <= fleet.max_tenants_per_device, (strategy, slot)
+    # (b) every tenant exactly once: placed or evicted, never both/lost.
+    assert sorted(placed + list(placement.evicted)) == sorted(
+        fleet.tenant_names()
+    )
+    # Slots are exactly the fleet's slots.
+    assert set(placement.assignment) == set(fleet.slots())
+    # Predicted violation is finite and non-negative.
+    assert placement.predicted_violation >= 0.0
+
+
+@given(placement_cases())
+@settings(max_examples=25, deadline=None)
+def test_placement_is_deterministic(case):
+    fleet, matrix, strategy, seed = case
+    first = place(fleet, matrix, strategy, seed=seed)
+    second = place(fleet, matrix, strategy, seed=seed)
+    assert first.to_json_dict() == second.to_json_dict()

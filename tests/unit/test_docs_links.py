@@ -81,10 +81,14 @@ def test_doc_files_present() -> None:
         "docs/architecture.md",
         "docs/faults.md",
         "docs/tuning.md",
+        "docs/profiling.md",
+        "docs/fleet.md",
         "docs/api/obs.md",
         "docs/api/exec.md",
         "docs/api/faults.md",
         "docs/api/tune.md",
+        "docs/api/prof.md",
+        "docs/api/fleet.md",
         "README.md",
         "EXPERIMENTS.md",
     ):
