@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Can a feedback loop hold an SLO that a static knob config loses?
+
+The paper's §VII points out that cgroup knob settings are static bets:
+an io.max cap tuned at today's load admits tomorrow's flash crowd.
+This example drives `repro.ctl` end to end on the flagship D8 cell.
+
+Part 1 runs the io.max flash-crowd cell both ways — knob file frozen
+vs. a PID control plane rewriting it from live SLO drift — and prints
+the static -> online p99 comparison.
+
+Part 2 replays the online run in-process and walks its decision trace:
+the observation windows where drift appeared, the cuts the PID applied,
+and the slow asymmetric recovery after the crowd receded.
+
+Part 3 runs a compact matrix slice (io.max x {steady, flash-crowd,
+churn}) through the sweep executor, the `isol-bench ctl` view.
+
+Run:  python examples/online_control.py
+
+(The ``__main__`` guard is required: the sweep executor fans scenarios
+over spawn-context worker processes, which re-import this module.)
+"""
+
+import dataclasses
+
+from repro.core.d8_online import (
+    build_scenarios,
+    evaluate_online_control,
+    mini_settings,
+)
+from repro.core.runner import run_scenario
+from repro.exec import SweepExecutor
+
+
+def one_cell_settings():
+    return dataclasses.replace(
+        mini_settings(), knobs=("io.max",), patterns=("flash-crowd",)
+    )
+
+
+def compare_one_cell(executor: SweepExecutor):
+    settings = one_cell_settings()
+    scenarios, labels = build_scenarios(settings)
+    summaries = executor.run_strict(scenarios)
+    print("io.max under a flash crowd (p99 at full device speed):")
+    online_scenario = None
+    for scenario, (knob, pattern, mode), summary in zip(
+        scenarios, labels, summaries
+    ):
+        prio = summary.cgroup_stats()["/tenants/prio"]
+        p99 = prio.latency.p99_us / settings.device_scale
+        met = "meets" if p99 <= settings.slo_p99_us else "VIOLATES"
+        print(f"  {mode:<7} p99 {p99:7.0f}us  ({met} the {settings.slo_p99_us:.0f}us SLO)")
+        if mode == "online":
+            online_scenario = scenario
+    return online_scenario
+
+
+def walk_decision_trace(online_scenario) -> None:
+    print("\nReplaying the online run for its decision trace:")
+    result = run_scenario(online_scenario)
+    records = result.ctl_trace or []
+    cuts = [
+        r for r in records if r["type"] == "actuation" and r["reason"] == "drift"
+    ]
+    recoveries = [
+        r
+        for r in records
+        if r["type"] == "actuation" and r["reason"] == "recover"
+    ]
+    print(f"  {len(records)} trace records "
+          f"({len(cuts)} cuts, {len(recoveries)} recovery steps)")
+    for record in cuts:
+        print(
+            f"  t={record['t_us'] / 1e6:5.2f}s  {record['controller']} cut "
+            f"{record['knob']} cap {record['previous']:.3f} -> "
+            f"{record['value']:.3f} of saturation"
+        )
+    if recoveries:
+        first, last = recoveries[0], recoveries[-1]
+        print(
+            f"  recovery: {len(recoveries)} steps of <=10% each, "
+            f"{first['previous']:.3f} -> {last['value']:.3f} "
+            f"(cut fast, creep back slowly)"
+        )
+
+
+def matrix_slice(executor: SweepExecutor) -> None:
+    print("\nA slice of the D8 matrix (isol-bench ctl view):")
+    settings = dataclasses.replace(
+        mini_settings(),
+        knobs=("io.max",),
+        patterns=("steady", "flash-crowd", "churn"),
+    )
+    table = evaluate_online_control(settings, executor=executor)
+    print(table.render())
+
+
+if __name__ == "__main__":
+    with SweepExecutor(max_workers=2) as executor:
+        online = compare_one_cell(executor)
+        walk_decision_trace(online)
+        matrix_slice(executor)
+        print(f"\nsweep: {executor.stats}")

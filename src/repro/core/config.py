@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> ctl import cycle
+    from repro.ctl.config import CtlConfig
 
 from repro.cgroups.hierarchy import CgroupHierarchy
 from repro.cgroups.knobs import IoCostModelParams, IoCostQosParams
@@ -247,6 +250,16 @@ class Scenario:
     # (bit-identity is test-pinned), but like tracing the artifact
     # lives on the Host, so profiled scenarios bypass the result cache.
     prof: Optional[ProfConfig] = None
+    # Online control: None (the default) wires no control plane -- knob
+    # files stay exactly as the static config wrote them. A
+    # repro.ctl.CtlConfig attaches a dedicated (non-retaining) sampler
+    # plus the controller matching the scenario's knob type, which
+    # rewrites knob files mid-run from live SLO drift. Deterministic on
+    # the sim clock, so ctl scenarios cache normally; the config
+    # participates in the exec cache key like every other field.
+    # Time-valued ctl fields are raw simulated microseconds (the
+    # ActivityWindow convention -- already-dilated timelines).
+    ctl: Optional["CtlConfig"] = None
 
     def __post_init__(self) -> None:
         if not self.apps:

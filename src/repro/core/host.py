@@ -15,6 +15,7 @@ completions to the metrics collector.
 from __future__ import annotations
 
 import dataclasses
+import math
 from functools import partial
 
 from repro.cgroups.hierarchy import Cgroup, CgroupHierarchy
@@ -40,7 +41,7 @@ from repro.iocontrol.iolatency import IoLatencyController
 from repro.iocontrol.iomax import IoMaxController
 from repro.iocontrol.mq_deadline import MqDeadlineScheduler
 from repro.iocontrol.nonectl import NoneScheduler
-from repro.iorequest import IoRequest, OpType
+from repro.iorequest import IoRequest, OpType, Pattern
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.workconservation import WorkConservationProbe
 from repro.sim.engine import Simulator
@@ -137,6 +138,7 @@ class Host:
         self.iomax_managers = self._build_iomax_managers()
         self.injectors, self.coordinator = self._build_faults()
         self.tracer, self.sampler = self._build_observability()
+        self.ctl_plane, self.ctl_sampler = self._build_ctl()
         self.profiler = self._build_profiler()
         self.wc_probes = [
             WorkConservationProbe(
@@ -327,6 +329,132 @@ class Host:
                 self.sim, config.sample_period_us, self._observability_snapshot()
             )
         return tracer, sampler
+
+    def _build_ctl(self):
+        """Control plane per ``scenario.ctl`` ((None, None) when off).
+
+        The plane gets a *dedicated* non-retaining sampler built on a
+        second :meth:`_observability_snapshot` closure, so its iostat and
+        flash-utilization cursors are independent of the observability
+        sampler's -- attaching a control plane never perturbs what
+        ``scenario.trace`` records (and vice versa). Which controller is
+        attached follows the scenario's knob type: io.max gets the PID
+        cap loop, io.cost the vrate nudger, io.latency the QD-limit
+        adapter; any other knob (including DynamicIoMaxKnob, which is
+        its own self-driving controller) runs the plane observe-only --
+        SLO drift is scored and traced but nothing actuates.
+        """
+        config = self.scenario.ctl
+        if config is None:
+            return None, None
+        from repro.ctl.plane import ControlPlane
+        from repro.obs.sampler import StackSampler
+
+        slo = config.slo
+        if slo.utilization_floor is not None and slo.utilization_reference_mib_s is None:
+            from repro.tune.slo import default_utilization_reference_mib_s
+
+            slo = dataclasses.replace(
+                slo,
+                utilization_reference_mib_s=default_utilization_reference_mib_s(
+                    self.scenario.ssd_model
+                ),
+            )
+        plane = ControlPlane(
+            self.sim,
+            config,
+            slo,
+            self._build_ctl_controllers(config),
+            window_stats=self.collector.cgroup_stats,
+            device_scale=self.scenario.device_scale,
+        )
+        sampler = StackSampler(
+            self.sim,
+            config.sample_period_us,
+            self._observability_snapshot(),
+            retain=False,
+        )
+        sampler.subscribe(plane.on_sample)
+        return plane, sampler
+
+    def _build_ctl_controllers(self, config):
+        """The knob-matched controller list for the control plane."""
+        from repro.ctl.controllers import (
+            PidIoMaxController,
+            QdLimitController,
+            VrateController,
+        )
+        from repro.iorequest import KIB
+
+        knob = self.scenario.knob
+        device_ids = self.scenario.device_ids()
+        if isinstance(knob, IoMaxKnob):
+            params = config.iomax
+            group = params.group
+            if group is None:
+                if len(knob.limits) != 1:
+                    raise ValueError(
+                        "IoMaxCtlParams.group is required when the knob does "
+                        "not cap exactly one cgroup"
+                    )
+                group = next(iter(knob.limits))
+            max_read_bps = self.ssd_model.saturation_bandwidth_bps(
+                OpType.READ, Pattern.RANDOM, 4 * KIB
+            ) / self.scenario.num_devices
+            initial = params.initial_fraction
+            if initial is None:
+                static = knob.limits.get(group, {}).get("rbps")
+                initial = (
+                    static / max_read_bps
+                    if static is not None and not math.isinf(static)
+                    else params.ceiling_fraction
+                )
+            return [
+                PidIoMaxController(
+                    self.sim,
+                    self.hierarchy,
+                    self.throttles,
+                    device_ids,
+                    group=group,
+                    params=params,
+                    max_read_bps=max_read_bps,
+                    initial_fraction=initial,
+                    period_us=config.period_us,
+                )
+            ]
+        if isinstance(knob, IoCostKnob):
+            return [
+                VrateController(
+                    self.sim,
+                    self.hierarchy,
+                    self.throttles,
+                    device_ids,
+                    qos=knob.qos,
+                    params=config.vrate,
+                    period_us=config.period_us,
+                )
+            ]
+        if isinstance(knob, IoLatencyKnob):
+            if not knob.targets_us:
+                raise ValueError(
+                    "a ctl-managed IoLatencyKnob needs at least one target"
+                )
+            # Adapt the *protected* group's target -- the one with the
+            # tightest static setting, matching blk-iolatency's victim.
+            group = min(knob.targets_us, key=knob.targets_us.get)
+            return [
+                QdLimitController(
+                    self.sim,
+                    self.hierarchy,
+                    self.throttles,
+                    device_ids,
+                    group=group,
+                    params=config.qdlimit,
+                    initial_target_us=knob.targets_us[group],
+                    period_us=config.period_us,
+                )
+            ]
+        return []
 
     def _build_profiler(self):
         """Self-profiler per ``scenario.prof`` (None when off).
@@ -525,6 +653,12 @@ class Host:
                 counters[f"dev{i}.{key}"] = value
         return counters
 
+    def ctl_counters(self) -> dict[str, float]:
+        """Control-plane accounting (empty when no CtlConfig is set)."""
+        if self.ctl_plane is None:
+            return {}
+        return self.ctl_plane.counters()
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -540,6 +674,8 @@ class Host:
             injector.start()
         if self.sampler is not None:
             self.sampler.start()
+        if self.ctl_sampler is not None:
+            self.ctl_sampler.start()
 
         def begin_measurement():
             self.accounting.begin_window()

@@ -56,6 +56,31 @@ class ScenarioResult:
         return self.host.fault_counters()
 
     @property
+    def ctl_counters(self) -> dict[str, float]:
+        """Control-plane accounting under ``Scenario.ctl`` (empty when off).
+
+        Plane-level step/skip counts plus per-controller applied/skipped
+        and final-setting counters; carried into ``ScenarioSummary`` so
+        cached and cross-process results keep the same accounting.
+        """
+        return self.host.ctl_counters()
+
+    @property
+    def ctl_trace(self) -> list[dict] | None:
+        """The control-plane decision trace, or None when ctl was off.
+
+        A list of self-describing JSONL-ready records (``observe`` /
+        ``actuation`` / ``skip``), exportable with
+        :func:`repro.ctl.write_ctl_trace`. Like the observability trace
+        the artifact lives on the Host, so it is only available on a
+        freshly executed (non-cached) result.
+        """
+        plane = self.host.ctl_plane
+        if plane is None:
+            return None
+        return plane.records
+
+    @property
     def trace(self) -> Trace | None:
         """The observability artifact, or None if tracing was off.
 

@@ -1,0 +1,143 @@
+"""The controller contract: observe / actuate / period.
+
+A :class:`Controller` is anything that periodically inspects the stack
+and may rewrite knob sysfs files. Two driving modes share the contract:
+
+* **plane-driven** -- the :class:`~repro.ctl.plane.ControlPlane` calls
+  ``observe`` with a fresh :class:`ControlObservation` and then ``step``
+  on its decision cadence (the repro.ctl controllers);
+* **self-driving** -- ``start()`` arms the controller's own periodic
+  tick, which calls ``observe(None)`` then ``step`` every ``period_us``
+  (the pre-existing :class:`~repro.iocontrol.dynamic_iomax.
+  DynamicIoMaxManager`, whose event timing this base preserves exactly
+  -- golden-pinned in ``tests/integration/test_dynamic_iomax_golden``).
+
+``actuate`` returns :class:`Actuation` records describing what was
+written (or why nothing was); ``step`` folds them into applied/skipped
+counters that travel into ``ScenarioSummary.ctl_counters``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.tune.slo import SloScore
+
+
+@dataclass(frozen=True)
+class ControlObservation:
+    """One observation window, as handed to ``Controller.observe``."""
+
+    #: Simulated time of the control step (end of the window).
+    t_us: float
+    #: Window length in (dilated) simulated microseconds.
+    window_us: float
+    #: The window scored against the plane's SLO, full-speed units.
+    score: SloScore
+    #: Per-cgroup window stats (dilated units), keyed by cgroup path.
+    groups: Mapping[str, object]
+    #: The most recent StackSampler row (controller internals).
+    row: Mapping[str, float]
+    #: The scenario's time-dilation factor.
+    device_scale: float
+
+
+@dataclass(frozen=True)
+class Actuation:
+    """One controller decision: a knob write, applied or suppressed."""
+
+    #: Simulated time of the decision.
+    t_us: float
+    #: Controller name (``pid-iomax`` / ``vrate`` / ``qdlimit`` / ...).
+    controller: str
+    #: The knob file involved (``io.max`` / ``io.cost.qos`` / ...).
+    knob: str
+    #: Cgroup path written to ("" for root-only knobs).
+    cgroup: str
+    #: The setting before the decision, in the controller's native unit.
+    previous: float
+    #: The setting after the decision (== previous when suppressed).
+    value: float
+    #: Whether the knob file was actually rewritten.
+    applied: bool
+    #: Why: ``drift`` / ``recover`` / ``deadband`` / ``min-interval`` /
+    #: ``at-floor`` / ``at-ceiling`` / ...
+    reason: str
+
+    def to_json_dict(self) -> dict:
+        """Decision-trace record (self-describing, JSONL-ready)."""
+        return {
+            "type": "actuation",
+            "t_us": self.t_us,
+            "controller": self.controller,
+            "knob": self.knob,
+            "cgroup": self.cgroup,
+            "previous": self.previous,
+            "value": self.value,
+            "applied": self.applied,
+            "reason": self.reason,
+        }
+
+
+class Controller:
+    """Base class: periodic observe/actuate with actuation accounting."""
+
+    #: Short identifier used in counters and trace records.
+    name = "controller"
+
+    def __init__(self, sim, period_us: float):
+        if period_us <= 0:
+            raise ValueError("controller period must be positive")
+        self.sim = sim
+        self.period_us = period_us
+        self.applied = 0
+        self.skipped = 0
+        self._running = False
+
+    # -- contract ------------------------------------------------------
+    def observe(self, obs: Optional[ControlObservation]) -> None:
+        """Ingest one observation window (None in self-driving mode)."""
+        raise NotImplementedError
+
+    def actuate(self) -> list[Actuation]:
+        """Decide and perform knob writes; return the decision records."""
+        raise NotImplementedError
+
+    def step(self) -> list[Actuation]:
+        """Run ``actuate`` and fold its records into the counters."""
+        actuations = self.actuate()
+        for actuation in actuations:
+            if actuation.applied:
+                self.applied += 1
+            else:
+                self.skipped += 1
+        return actuations
+
+    def counters(self) -> dict[str, float]:
+        """Deterministic accounting for ``ScenarioSummary.ctl_counters``."""
+        return {"applied": float(self.applied), "skipped": float(self.skipped)}
+
+    # -- self-driving mode ---------------------------------------------
+    def on_start(self) -> None:
+        """Hook run once when a self-driving controller starts."""
+
+    def start(self) -> None:
+        """Arm the controller's own periodic tick (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.on_start()
+        self.sim.schedule(self.period_us, self._tick)
+
+    def stop(self) -> None:
+        """Stop the periodic tick; the next scheduled one is a no-op."""
+        self._running = False
+
+    def _tick(self) -> None:
+        """One self-driven period: observe, actuate, re-arm."""
+        if not self._running:
+            return
+        self.observe(None)
+        self.step()
+        self.sim.schedule(self.period_us, self._tick)

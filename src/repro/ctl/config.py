@@ -1,0 +1,196 @@
+"""Control-plane configuration (the ``Scenario.ctl`` field).
+
+:class:`CtlConfig` describes one online control plane: the SLO it
+defends, its sampling and decision cadence, and per-controller
+parameters. Everything is a frozen dataclass with validated fields, so
+a config renders canonically into the exec cache key (like
+:class:`~repro.faults.plan.FaultPlan`) and two scenarios differing only
+in a gain or a deadband key differently.
+
+Time fields are *raw simulated microseconds* (the same convention as
+:class:`~repro.workloads.spec.ActivityWindow`): a D8 builder that
+dilates its workload timeline by ``device_scale`` dilates its control
+periods alongside, keeping the ratio of control steps to traffic shifts
+constant across effort levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.tune.slo import SloSpec
+
+
+def _require_positive(name: str, value: float) -> None:
+    """Shared validator: ``value`` must be finite and > 0."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class PidParams:
+    """Gains of the io.max PID loop (per control step, unit-free).
+
+    ``violation_boost`` multiplies negative (SLO-violating) errors
+    before they enter the loop: tighten fast, loosen slow -- the
+    asymmetry that keeps the whole-window p99 down while still
+    reclaiming bandwidth once the pressure passes.
+    """
+
+    kp: float = 0.5
+    ki: float = 0.1
+    kd: float = 0.0
+    violation_boost: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("kp", "ki", "kd"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be >= 0 and finite")
+        if not math.isfinite(self.violation_boost) or self.violation_boost < 1.0:
+            raise ValueError("violation_boost must be >= 1")
+
+
+@dataclass(frozen=True)
+class IoMaxCtlParams:
+    """PID control of a cgroup's io.max cap, as a fraction of saturation.
+
+    ``group`` names the capped cgroup (None infers the scenario's sole
+    limited group); ``initial_fraction=None`` infers the starting point
+    from the knob's static rbps limit, so the online run begins exactly
+    where the static config stands and every later move is the
+    controller's doing.
+
+    The actuation profile is asymmetric: downward (tightening) steps
+    may move up to ``max_step_fraction`` of the current cap per step,
+    upward (recovery) steps only ``max_recover_fraction`` -- cut fast
+    under violation, creep back slowly, so the loop does not oscillate
+    straight back into the drift it just escaped. The deadband is
+    *relative* to the current fraction for the same reason: an absolute
+    deadband would swallow the small recovery steps entirely once the
+    cap sits low.
+    """
+
+    pid: PidParams = field(default_factory=PidParams)
+    group: str | None = None
+    initial_fraction: float | None = None
+    floor_fraction: float = 0.05
+    ceiling_fraction: float = 0.95
+    deadband_fraction: float = 0.02
+    max_step_fraction: float = 0.5
+    max_recover_fraction: float = 0.1
+    min_interval_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initial_fraction is not None:
+            _require_positive("initial_fraction", self.initial_fraction)
+        _require_positive("floor_fraction", self.floor_fraction)
+        _require_positive("ceiling_fraction", self.ceiling_fraction)
+        if self.floor_fraction >= self.ceiling_fraction:
+            raise ValueError("floor_fraction must be below ceiling_fraction")
+        if not math.isfinite(self.deadband_fraction) or self.deadband_fraction < 0:
+            raise ValueError("deadband_fraction must be >= 0")
+        _require_positive("max_step_fraction", self.max_step_fraction)
+        _require_positive("max_recover_fraction", self.max_recover_fraction)
+        if not math.isfinite(self.min_interval_us) or self.min_interval_us < 0:
+            raise ValueError("min_interval_us must be >= 0")
+
+
+@dataclass(frozen=True)
+class VrateCtlParams:
+    """Multiplicative nudging of io.cost's vrate ceiling.
+
+    On SLO drift the controller shrinks the qos ``max`` percentage by
+    ``down_step`` (forcing blk-iocost to issue less virtual time); when
+    every objective is met it recovers by ``up_step`` toward the
+    original ceiling. Mirrors the kernel's own vrate adjustment steps,
+    but driven by the *tenant* SLO instead of device-level percentiles.
+    """
+
+    down_step: float = 0.8
+    up_step: float = 1.1
+    floor_pct: float = 10.0
+    deadband_pct: float = 0.5
+    min_interval_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.down_step < 1:
+            raise ValueError("down_step must be in (0, 1)")
+        if not self.up_step > 1 or not math.isfinite(self.up_step):
+            raise ValueError("up_step must be > 1 and finite")
+        _require_positive("floor_pct", self.floor_pct)
+        if not math.isfinite(self.deadband_pct) or self.deadband_pct < 0:
+            raise ValueError("deadband_pct must be >= 0")
+        if not math.isfinite(self.min_interval_us) or self.min_interval_us < 0:
+            raise ValueError("min_interval_us must be >= 0")
+
+
+@dataclass(frozen=True)
+class QdLimitCtlParams:
+    """Adaptive io.latency target driving the kernel's QD throttling.
+
+    io.latency halves unprotected groups' queue depths only while the
+    protected group misses its *knob* target; tightening that target on
+    SLO drift makes the halving engage earlier and deeper, and loosening
+    it afterwards lets queue depths recover. Factors are relative to the
+    statically configured target.
+    """
+
+    tighten_factor: float = 0.7
+    loosen_factor: float = 1.2
+    floor_fraction: float = 0.1
+    ceiling_fraction: float = 1.0
+    min_interval_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.tighten_factor < 1:
+            raise ValueError("tighten_factor must be in (0, 1)")
+        if not self.loosen_factor > 1 or not math.isfinite(self.loosen_factor):
+            raise ValueError("loosen_factor must be > 1 and finite")
+        _require_positive("floor_fraction", self.floor_fraction)
+        _require_positive("ceiling_fraction", self.ceiling_fraction)
+        if self.floor_fraction >= self.ceiling_fraction:
+            raise ValueError("floor_fraction must be below ceiling_fraction")
+        if not math.isfinite(self.min_interval_us) or self.min_interval_us < 0:
+            raise ValueError("min_interval_us must be >= 0")
+
+
+@dataclass(frozen=True)
+class CtlConfig:
+    """One online control plane: SLO, cadence, controller parameters.
+
+    The host instantiates only the controller matching the scenario's
+    knob type (PID for io.max, vrate for io.cost, target adaptation for
+    io.latency); scenarios under other knobs still get the observation
+    stream and decision trace, just no actuator.
+    """
+
+    #: The SLO the plane defends; drift is scored per observation window
+    #: with the tuner's own machinery.
+    slo: SloSpec
+    #: Control decision cadence in simulated microseconds.
+    period_us: float = 100_000.0
+    #: Sampling cadence of the dedicated StackSampler the plane
+    #: subscribes to; the decision cadence is rounded to a whole number
+    #: of sampler ticks.
+    sample_period_us: float = 20_000.0
+    #: Observation windows with fewer completions than this across all
+    #: groups are skipped (p99 over a handful of samples is noise).
+    min_window_ios: int = 8
+    iomax: IoMaxCtlParams = field(default_factory=IoMaxCtlParams)
+    vrate: VrateCtlParams = field(default_factory=VrateCtlParams)
+    qdlimit: QdLimitCtlParams = field(default_factory=QdLimitCtlParams)
+
+    def __post_init__(self) -> None:
+        _require_positive("period_us", self.period_us)
+        _require_positive("sample_period_us", self.sample_period_us)
+        if self.sample_period_us > self.period_us:
+            raise ValueError("sample_period_us must not exceed period_us")
+        if self.min_window_ios < 0:
+            raise ValueError("min_window_ios must be >= 0")
+
+    @property
+    def ticks_per_step(self) -> int:
+        """Sampler ticks per control decision (always >= 1)."""
+        return max(1, round(self.period_us / self.sample_period_us))

@@ -1,0 +1,331 @@
+"""The three knob controllers: PID io.max, vrate io.cost, QD io.latency.
+
+Each controller reads SLO drift from the plane's windowed
+:class:`~repro.ctl.base.ControlObservation` and actuates through the
+same interface a userspace daemon has on Linux: it *rewrites the knob
+sysfs file* and pokes the kernel-side controller to re-read it
+(:meth:`~repro.iocontrol.iomax.IoMaxController.invalidate`,
+:meth:`~repro.iocontrol.iocost.IoCostController.refresh_qos`,
+:meth:`~repro.iocontrol.iolatency.IoLatencyController.refresh_targets`).
+All three share the anti-windup PID / rate-limiter primitives' no-NaN,
+no-negative guarantees: garbage observations hold the current setting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.cgroups.knobs import IoCostQosParams
+from repro.ctl.base import Actuation, ControlObservation, Controller
+from repro.ctl.config import IoMaxCtlParams, QdLimitCtlParams, VrateCtlParams
+from repro.ctl.pid import PidState, RateLimiter
+
+
+def slo_error(obs: ControlObservation) -> float:
+    """Normalized headroom of the worst p99 objective, in ``[-1, 1]``.
+
+    Positive: the tightest latency objective still has that fraction of
+    headroom (safe to loosen). Negative: the objective is exceeded by
+    that fraction (must tighten). A starved group (no completions, p99
+    measured as inf) pins the error at -1.
+    """
+    errors = []
+    for term in obs.score.terms:
+        if term.kind != "p99":
+            continue
+        if not math.isfinite(term.measured):
+            errors.append(-1.0)
+        elif term.target > 0:
+            errors.append((term.target - term.measured) / term.target)
+    if not errors:
+        return 0.0
+    return max(-1.0, min(1.0, min(errors)))
+
+
+class PidIoMaxController(Controller):
+    """PID loop on one cgroup's io.max cap (fraction of saturation).
+
+    The plant input is the capped group's rbps/wbps limit expressed as a
+    fraction of the device's 4 KiB random-read saturation bandwidth; the
+    error is :func:`slo_error` with violations boosted so the loop
+    tightens fast under drift and re-loosens slowly once the SLO holds
+    (reclaiming the utilization that static caps strand, §VII O8).
+    """
+
+    name = "pid-iomax"
+
+    def __init__(
+        self,
+        sim,
+        hierarchy: CgroupHierarchy,
+        throttles: list,
+        device_ids: list[str],
+        group: str,
+        params: IoMaxCtlParams,
+        max_read_bps: float,
+        initial_fraction: float,
+        period_us: float,
+    ):
+        """``max_read_bps`` is the per-device saturation bandwidth."""
+        super().__init__(sim, period_us)
+        self.hierarchy = hierarchy
+        self.throttles = throttles
+        self.device_ids = device_ids
+        self.group = group
+        self.params = params
+        self.max_read_bps = max_read_bps
+        initial = min(
+            max(initial_fraction, params.floor_fraction), params.ceiling_fraction
+        )
+        self.fraction = initial
+        self.pid = PidState(
+            params.pid, params.floor_fraction, params.ceiling_fraction, initial
+        )
+        self.limiter = RateLimiter(
+            max_step_fraction=params.max_step_fraction,
+            max_recover_fraction=params.max_recover_fraction,
+            min_interval_us=params.min_interval_us,
+        )
+        self._obs: Optional[ControlObservation] = None
+
+    def observe(self, obs: Optional[ControlObservation]) -> None:
+        """Store the window for the next ``actuate``."""
+        self._obs = obs
+
+    def actuate(self) -> list[Actuation]:
+        """One PID step; rewrite io.max when the cap should move."""
+        obs = self._obs
+        if obs is None:
+            return []
+        error = slo_error(obs)
+        if error < 0:
+            error *= self.params.pid.violation_boost
+        proposed = self.pid.step(error)
+        record = lambda value, applied, reason: Actuation(  # noqa: E731
+            t_us=self.sim.now,
+            controller=self.name,
+            knob="io.max",
+            cgroup=self.group,
+            previous=self.fraction,
+            value=value,
+            applied=applied,
+            reason=reason,
+        )
+        if not self.limiter.ready(self.sim.now):
+            return [record(self.fraction, False, "min-interval")]
+        value = self.limiter.clamp(self.fraction, proposed)
+        if abs(value - self.fraction) < self.params.deadband_fraction * self.fraction:
+            return [record(self.fraction, False, "deadband")]
+        reason = "drift" if value < self.fraction else "recover"
+        limit = value * self.max_read_bps
+        group = self.hierarchy.find(self.group)
+        for device_id in self.device_ids:
+            group.write(
+                "io.max", f"{device_id} rbps={int(limit)} wbps={int(limit)}"
+            )
+        for throttle in self.throttles:
+            throttle.invalidate()
+        actuation = record(value, True, reason)
+        self.fraction = value
+        self.limiter.mark(self.sim.now)
+        return [actuation]
+
+    def counters(self) -> dict[str, float]:
+        """Applied/skipped plus the cap's final resting fraction."""
+        row = super().counters()
+        row["final_fraction"] = self.fraction
+        return row
+
+
+class VrateController(Controller):
+    """Multiplicative nudging of the io.cost qos vrate ceiling.
+
+    Rewrites the root-only ``io.cost.qos`` file with a shrunken (drift)
+    or recovered (SLO met) ``max`` percentage and pokes each device's
+    :class:`~repro.iocontrol.iocost.IoCostController` to re-read it --
+    tightening the window blk-iocost's own QoS loop may move vrate in.
+    """
+
+    name = "vrate"
+
+    def __init__(
+        self,
+        sim,
+        hierarchy: CgroupHierarchy,
+        throttles: list,
+        device_ids: list[str],
+        qos: IoCostQosParams,
+        params: VrateCtlParams,
+        period_us: float,
+    ):
+        """``qos`` is the statically configured baseline to recover to."""
+        super().__init__(sim, period_us)
+        self.hierarchy = hierarchy
+        self.throttles = throttles
+        self.device_ids = device_ids
+        self.base_qos = qos
+        self.params = params
+        self.ceiling_pct = qos.vrate_max_pct
+        self.limiter = RateLimiter(
+            max_step_fraction=1.0, min_interval_us=params.min_interval_us
+        )
+        self._obs: Optional[ControlObservation] = None
+
+    def observe(self, obs: Optional[ControlObservation]) -> None:
+        """Store the window for the next ``actuate``."""
+        self._obs = obs
+
+    def actuate(self) -> list[Actuation]:
+        """Nudge the vrate ceiling down on drift, up on recovery."""
+        obs = self._obs
+        if obs is None:
+            return []
+        params = self.params
+        record = lambda value, applied, reason: Actuation(  # noqa: E731
+            t_us=self.sim.now,
+            controller=self.name,
+            knob="io.cost.qos",
+            cgroup="",
+            previous=self.ceiling_pct,
+            value=value,
+            applied=applied,
+            reason=reason,
+        )
+        if obs.score.needs_tightening:
+            proposed = max(params.floor_pct, self.ceiling_pct * params.down_step)
+            reason = "drift"
+            if proposed >= self.ceiling_pct:
+                return [record(self.ceiling_pct, False, "at-floor")]
+        elif obs.score.meets_slo:
+            proposed = min(
+                self.base_qos.vrate_max_pct, self.ceiling_pct * params.up_step
+            )
+            reason = "recover"
+            if proposed <= self.ceiling_pct:
+                return [record(self.ceiling_pct, False, "at-ceiling")]
+        else:
+            # Bandwidth/utilization drift without latency drift: hold --
+            # shrinking vrate further would starve throughput harder.
+            return [record(self.ceiling_pct, False, "hold")]
+        if not self.limiter.ready(self.sim.now):
+            return [record(self.ceiling_pct, False, "min-interval")]
+        value = self.limiter.clamp(self.ceiling_pct, proposed)
+        if abs(value - self.ceiling_pct) < params.deadband_pct:
+            return [record(self.ceiling_pct, False, "deadband")]
+        qos = self.base_qos
+        vrate_min = min(qos.vrate_min_pct, value)
+        for device_id in self.device_ids:
+            self.hierarchy.root.write(
+                "io.cost.qos",
+                f"{device_id} enable={int(qos.enable)} ctrl={qos.ctrl} "
+                f"rpct={qos.rpct:g} rlat={qos.rlat_us:g} "
+                f"wpct={qos.wpct:g} wlat={qos.wlat_us:g} "
+                f"min={vrate_min:g} max={value:g}",
+            )
+        for throttle in self.throttles:
+            throttle.refresh_qos()
+        actuation = record(value, True, reason)
+        self.ceiling_pct = value
+        self.limiter.mark(self.sim.now)
+        return [actuation]
+
+    def counters(self) -> dict[str, float]:
+        """Applied/skipped plus the ceiling's final percentage."""
+        row = super().counters()
+        row["final_ceiling_pct"] = self.ceiling_pct
+        return row
+
+
+class QdLimitController(Controller):
+    """Adaptive io.latency target: QD-limit adaptation by proxy.
+
+    blk-iolatency halves unprotected groups' queue depths only when the
+    protected group misses the *knob file's* target; this controller
+    tightens that target under SLO drift (making the kernel's halving
+    engage earlier and cut deeper) and relaxes it back once the SLO
+    holds, then pokes the controller to re-read the cached target.
+    """
+
+    name = "qdlimit"
+
+    def __init__(
+        self,
+        sim,
+        hierarchy: CgroupHierarchy,
+        throttles: list,
+        device_ids: list[str],
+        group: str,
+        params: QdLimitCtlParams,
+        initial_target_us: float,
+        period_us: float,
+    ):
+        """``initial_target_us`` is the knob's static (dilated) target."""
+        if not math.isfinite(initial_target_us) or initial_target_us <= 0:
+            raise ValueError("initial io.latency target must be positive")
+        super().__init__(sim, period_us)
+        self.hierarchy = hierarchy
+        self.throttles = throttles
+        self.device_ids = device_ids
+        self.group = group
+        self.params = params
+        self.base_target_us = initial_target_us
+        self.target_us = initial_target_us
+        self.limiter = RateLimiter(
+            max_step_fraction=1.0, min_interval_us=params.min_interval_us
+        )
+        self._obs: Optional[ControlObservation] = None
+
+    def observe(self, obs: Optional[ControlObservation]) -> None:
+        """Store the window for the next ``actuate``."""
+        self._obs = obs
+
+    def actuate(self) -> list[Actuation]:
+        """Tighten the target on drift, relax toward baseline when met."""
+        obs = self._obs
+        if obs is None:
+            return []
+        params = self.params
+        floor = self.base_target_us * params.floor_fraction
+        ceiling = self.base_target_us * params.ceiling_fraction
+        record = lambda value, applied, reason: Actuation(  # noqa: E731
+            t_us=self.sim.now,
+            controller=self.name,
+            knob="io.latency",
+            cgroup=self.group,
+            previous=self.target_us,
+            value=value,
+            applied=applied,
+            reason=reason,
+        )
+        if obs.score.needs_tightening:
+            proposed = max(floor, self.target_us * params.tighten_factor)
+            reason = "drift"
+            if proposed >= self.target_us:
+                return [record(self.target_us, False, "at-floor")]
+        elif obs.score.meets_slo:
+            proposed = min(ceiling, self.target_us * params.loosen_factor)
+            reason = "recover"
+            if proposed <= self.target_us:
+                return [record(self.target_us, False, "at-ceiling")]
+        else:
+            return [record(self.target_us, False, "hold")]
+        if not self.limiter.ready(self.sim.now):
+            return [record(self.target_us, False, "min-interval")]
+        value = self.limiter.clamp(self.target_us, proposed)
+        group = self.hierarchy.find(self.group)
+        for device_id in self.device_ids:
+            group.write("io.latency", f"{device_id} target={value:g}")
+        for throttle in self.throttles:
+            throttle.refresh_targets()
+        actuation = record(value, True, reason)
+        self.target_us = value
+        self.limiter.mark(self.sim.now)
+        return [actuation]
+
+    def counters(self) -> dict[str, float]:
+        """Applied/skipped plus the target's final (dilated) value."""
+        row = super().counters()
+        row["final_target_us"] = self.target_us
+        return row

@@ -1,0 +1,136 @@
+"""Control primitives: a discrete PID loop and an actuation rate limiter.
+
+Both are plant-agnostic and unit-free: the PID integrates per control
+*step* (not per microsecond), so gains stay meaningful across device
+scales and control periods, and the rate limiter bounds *relative*
+change per applied actuation. Every numeric path is hardened against
+non-finite inputs -- a controller fed garbage observations must degrade
+to "hold the current setting", never emit NaN or a negative limit
+(property-tested in ``tests/property/test_ctl_properties.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ctl.config import PidParams
+
+
+class PidState:
+    """Positional discrete PID: ``u = initial + kp*e + ki*I + kd*de``.
+
+    The output is clamped to ``[out_lo, out_hi]``. Anti-windup uses
+    conditional integration: while the output saturates at a bound and
+    the error keeps pushing past it, the integral stops accumulating, so
+    the loop reacts immediately when the error changes sign instead of
+    unwinding minutes of accumulated windup. The integral is additionally
+    clamped so ``ki * I`` can never exceed the full output span.
+    """
+
+    def __init__(self, params: PidParams, out_lo: float, out_hi: float, initial: float):
+        if not out_lo < out_hi:
+            raise ValueError("output bounds must satisfy out_lo < out_hi")
+        if not out_lo <= initial <= out_hi:
+            raise ValueError("initial output must be inside the bounds")
+        self.params = params
+        self.out_lo = out_lo
+        self.out_hi = out_hi
+        self.initial = initial
+        self.integral = 0.0
+        self.last_error: float | None = None
+        self.output = initial
+
+    def _integral_bound(self) -> float:
+        """Cap on |integral| so the I term stays within the output span."""
+        ki = abs(self.params.ki)
+        if ki <= 0:
+            return 0.0
+        return (self.out_hi - self.out_lo) / ki
+
+    def step(self, error: float) -> float:
+        """Advance one control step and return the clamped output.
+
+        A non-finite error contributes nothing (the loop holds); the
+        derivative term is zero on the first step.
+        """
+        if not math.isfinite(error):
+            error = 0.0
+        params = self.params
+        derivative = 0.0 if self.last_error is None else error - self.last_error
+        self.last_error = error
+
+        candidate = (
+            self.initial
+            + params.kp * error
+            + params.ki * self.integral
+            + params.kd * derivative
+        )
+        saturated_hi = candidate > self.out_hi and error > 0
+        saturated_lo = candidate < self.out_lo and error < 0
+        if not (saturated_hi or saturated_lo):
+            self.integral += error
+            bound = self._integral_bound()
+            self.integral = max(-bound, min(bound, self.integral))
+            candidate = (
+                self.initial
+                + params.kp * error
+                + params.ki * self.integral
+                + params.kd * derivative
+            )
+        self.output = max(self.out_lo, min(self.out_hi, candidate))
+        return self.output
+
+    def reset(self) -> None:
+        """Forget accumulated state (integral, derivative history)."""
+        self.integral = 0.0
+        self.last_error = None
+        self.output = self.initial
+
+
+@dataclass
+class RateLimiter:
+    """Bounds how fast and how often a controller may move a setting.
+
+    ``max_step_fraction`` caps the relative change per applied actuation
+    (``0.5`` allows at most +-50% of the current value per step);
+    ``max_recover_fraction``, when set, caps *upward* steps separately
+    -- the classic asymmetric profile (cut fast under violation, creep
+    back slowly) that keeps a loop from oscillating straight back into
+    the drift it just escaped; ``min_interval_us`` enforces a minimum
+    simulated time between applied actuations. All three guards exist in
+    real control planes to keep an over-eager loop from slamming the
+    plant.
+    """
+
+    max_step_fraction: float = 0.5
+    max_recover_fraction: float | None = None
+    min_interval_us: float = 0.0
+    _last_applied_us: float = field(default=-math.inf, init=False, repr=False)
+
+    def ready(self, now_us: float) -> bool:
+        """Whether enough simulated time has passed since the last apply."""
+        return now_us - self._last_applied_us >= self.min_interval_us
+
+    def clamp(self, current: float, proposed: float) -> float:
+        """Limit ``proposed`` to one allowed step away from ``current``.
+
+        Non-finite or negative proposals degrade to holding ``current``
+        -- the no-NaN / no-negative guarantee every controller relies on.
+        """
+        if not math.isfinite(proposed) or proposed < 0:
+            return current
+        if not math.isfinite(current) or current <= 0:
+            return proposed
+        up = (
+            self.max_step_fraction
+            if self.max_recover_fraction is None
+            else self.max_recover_fraction
+        )
+        lo = current * (1.0 - self.max_step_fraction)
+        hi = current * (1.0 + up)
+        return max(lo, min(hi, proposed))
+
+    def mark(self, now_us: float) -> None:
+        """Record an applied actuation at ``now_us``."""
+        self._last_applied_us = now_us

@@ -41,7 +41,11 @@ from repro.exec.summary import SUMMARY_SCHEMA_VERSION
 #: v3: JobSpec.macro_tick_us arrival batching — specs render with a new
 #: field, and macro-tick runs draw from a dedicated arrival RNG stream
 #: older entries never saw.
-SCHEMA_VERSION = 3
+#: v4: online control plane (Scenario.ctl, repro.ctl) plus
+#: JobSpec.arrival_phases time-varying arrivals — scenarios render with
+#: new fields whose defaults older entries never carried, and ctl runs
+#: rewrite knob files mid-run, which no pre-v4 simulator could.
+SCHEMA_VERSION = 4
 
 _SALT = f"isolbench-cache:v{SCHEMA_VERSION}:summary-v{SUMMARY_SCHEMA_VERSION}"
 

@@ -31,7 +31,8 @@ from repro.metrics.latency import cdf, summarize_latencies
 #: Bump when the summary layout changes; folded into cache keys so stale
 #: cache entries from older layouts can never be returned.
 #: v2: added fault_counters (failure accounting under Scenario.faults).
-SUMMARY_SCHEMA_VERSION = 2
+#: v3: added ctl_counters (control-plane accounting under Scenario.ctl).
+SUMMARY_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -67,6 +68,11 @@ class ScenarioSummary:
     # fault-free runs. Deterministic content: same seed + same plan
     # must reproduce it bit-identically.
     fault_counters: dict[str, float] = field(default_factory=dict)
+    # Control-plane accounting under Scenario.ctl (plane steps, per-
+    # controller applied/skipped and final-setting counters); empty for
+    # uncontrolled runs. Deterministic content like fault_counters: the
+    # plane runs on the sim clock, so same scenario -> same counters.
+    ctl_counters: dict[str, float] = field(default_factory=dict)
     # Wall-clock diagnostics of the run that produced this summary; not
     # part of the deterministic content (see content_equal).
     wall_seconds: float = 0.0
@@ -279,6 +285,7 @@ def summarize(result) -> ScenarioSummary:
         work_conservation_violation=result.work_conservation_violation,
         events_processed=result.events_processed,
         fault_counters=dict(result.fault_counters),
+        ctl_counters=dict(result.ctl_counters),
         wall_seconds=result.wall_seconds,
     )
 

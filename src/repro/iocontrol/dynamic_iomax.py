@@ -11,22 +11,29 @@ practitioner: a userspace-style control loop that
    over the *active* set (idle groups release their share),
 3. rewrites the knob files and invalidates the controller's buckets.
 
-The ablation bench compares static vs managed io.max on a start/stop
-timeline: the manager restores work conservation while keeping the
-weighted split.
+The manager is the original one-off that :mod:`repro.ctl` generalizes:
+it now runs as a *self-driving* :class:`~repro.ctl.base.Controller`
+(``start()`` arms its own periodic observe/actuate tick) with event
+timing and knob writes identical to the pre-refactor loop -- pinned by
+``tests/integration/test_dynamic_iomax_golden.py``. The ablation bench
+compares static vs managed io.max on a start/stop timeline: the manager
+restores work conservation while keeping the weighted split.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.ctl.base import Actuation, ControlObservation, Controller
 from repro.iocontrol.iomax import IoMaxController
 from repro.sim.engine import Simulator
 
 
-class DynamicIoMaxManager:
+class DynamicIoMaxManager(Controller):
     """Periodic weight -> io.max re-translation over the active set."""
+
+    name = "dynamic-iomax"
 
     def __init__(
         self,
@@ -53,7 +60,7 @@ class DynamicIoMaxManager:
             raise ValueError("idle floor must be in (0, 1)")
         if not weights:
             raise ValueError("manager needs at least one weighted group")
-        self.sim = sim
+        super().__init__(sim, adjust_period_us)
         self.hierarchy = hierarchy
         self.controller = controller
         self.weights = dict(weights)
@@ -63,22 +70,20 @@ class DynamicIoMaxManager:
         self.adjust_period_us = adjust_period_us
         self.idle_floor_fraction = idle_floor_fraction
         self._last_bytes: dict[str, int] = {path: 0 for path in weights}
+        self._last_limits: dict[str, float] = {}
+        self._active: set[str] = set(weights)
         self.adjustments = 0
-        self._running = False
 
-    def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._apply(active=set(self.weights))  # initial full split
-        self.sim.schedule(self.adjust_period_us, self._tick)
+    def on_start(self) -> None:
+        """Initial full split before the first adjustment window."""
+        self._apply(active=set(self.weights))
 
-    def stop(self) -> None:
-        self._running = False
+    def observe(self, obs: Optional[ControlObservation]) -> None:
+        """Detect the active set from per-group byte-counter deltas.
 
-    def _tick(self) -> None:
-        if not self._running:
-            return
+        Self-driving: the manager polls the collector directly and
+        ignores the (always-None) plane observation.
+        """
         active = set()
         for path in self.weights:
             current = self.bytes_completed_of(path)
@@ -87,13 +92,17 @@ class DynamicIoMaxManager:
             self._last_bytes[path] = current
         if not active:
             active = set(self.weights)  # nothing ran; keep the full split
-        self._apply(active)
-        self.sim.schedule(self.adjust_period_us, self._tick)
+        self._active = active
 
-    def _apply(self, active: set[str]) -> None:
+    def actuate(self) -> list[Actuation]:
+        """Re-translate weights over the observed active set."""
+        return self._apply(self._active)
+
+    def _apply(self, active: set[str]) -> list[Actuation]:
         """Split the device among active groups by weight."""
         total = sum(self.weights[path] for path in active)
         floor = self.max_read_bps * self.idle_floor_fraction / max(1, len(self.weights))
+        records = []
         for path, weight in self.weights.items():
             if path in active:
                 limit = self.max_read_bps * weight / total
@@ -103,5 +112,19 @@ class DynamicIoMaxManager:
             group.write(
                 "io.max", f"{self.device_id} rbps={int(limit)} wbps={int(limit)}"
             )
+            records.append(
+                Actuation(
+                    t_us=self.sim.now,
+                    controller=self.name,
+                    knob="io.max",
+                    cgroup=path,
+                    previous=self._last_limits.get(path, limit),
+                    value=limit,
+                    applied=True,
+                    reason="reweight" if path in active else "idle-floor",
+                )
+            )
+            self._last_limits[path] = limit
         self.controller.invalidate()
         self.adjustments += 1
+        return records

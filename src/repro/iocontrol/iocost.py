@@ -170,6 +170,23 @@ class IoCostController(ThrottleLayer):
         self.vnow()  # fold accrued time at the old rate first
         self.vrate = min(max(vrate, self._vrate_min), self._vrate_max)
 
+    def refresh_qos(self) -> None:
+        """Re-read ``io.cost.qos`` from the hierarchy (online re-tuning).
+
+        The qos parameters are normally captured once at construction;
+        a userspace control plane (:mod:`repro.ctl`) that rewrites the
+        root qos file mid-run calls this to make the new vrate window
+        (and latency targets) take effect, re-clamping the current
+        vrate exactly as the kernel does on a qos write.
+        """
+        qos = self.hierarchy.root.read_parsed("io.cost.qos", self.device_id)
+        if qos is None:
+            return
+        self.qos = qos
+        self._vrate_min = qos.vrate_min_pct / 100.0
+        self._vrate_max = qos.vrate_max_pct / 100.0
+        self._set_vrate(self.vrate)
+
     # ------------------------------------------------------------------
     # Activation / weights
     # ------------------------------------------------------------------

@@ -154,6 +154,23 @@ class IoLatencyController(ThrottleLayer):
             state.qd_limit = min(self.max_qd, state.qd_limit + self.unthrottle_step)
             self._drain(state)
 
+    def refresh_targets(self) -> None:
+        """Re-read each known group's ``io.latency`` target (re-tuning).
+
+        Targets are normally cached at a group's first I/O; a userspace
+        control plane (:mod:`repro.ctl`) that rewrites the knob file
+        mid-run calls this so the next window evaluates against the new
+        target. QD limits and use_delay are deliberately left alone --
+        the kernel likewise only converges over subsequent windows.
+        """
+        for path, state in self._states.items():
+            group = self._group_cache.get(path)
+            if group is None:
+                group = self.hierarchy.find(path)
+                self._group_cache[path] = group
+            target = group.read_parsed("io.latency", self.device_id)
+            state.target_us = target if target is not None else math.inf
+
     def pending(self) -> int:
         return sum(len(state.pending) for state in self._states.values())
 

@@ -70,6 +70,7 @@ class IoMaxController(ThrottleLayer):
         self._buckets: dict[str, _GroupBuckets | None] = {}
         self._group_cache: dict[str, Cgroup] = {}
         self._throttled_in_flight = 0
+        self._generation = 0
 
     def _group(self, path: str) -> Cgroup:
         group = self._group_cache.get(path)
@@ -90,11 +91,20 @@ class IoMaxController(ThrottleLayer):
         return buckets
 
     def invalidate(self) -> None:
-        """Drop cached buckets after an io.max reconfiguration."""
-        self._buckets.clear()
+        """Drop cached buckets after an io.max reconfiguration.
 
-    def submit(self, req: IoRequest, forward: ForwardFn) -> None:
-        now = self.sim.now
+        Bumps the bucket generation: requests already sitting on the
+        throttle queue re-reserve against the *new* limits when their
+        old release fires, the way blk-throttle re-evaluates queued bios
+        after a config write. Without this, a mid-run cap cut would leak
+        -- the backlog would keep draining at the old rate alongside new
+        arrivals reserving from a fresh bucket.
+        """
+        self._buckets.clear()
+        self._generation += 1
+
+    def _wait_for(self, req: IoRequest, now: float) -> float:
+        """Longest wait across the group's and its ancestors' buckets."""
         wait = 0.0
         node: Cgroup | None = self._group(req.cgroup_path)
         while node is not None:
@@ -102,13 +112,29 @@ class IoMaxController(ThrottleLayer):
             if buckets is not None:
                 wait = max(wait, buckets.wait_us(req, now))
             node = node.parent
+        return wait
+
+    def submit(self, req: IoRequest, forward: ForwardFn) -> None:
+        wait = self._wait_for(req, self.sim.now)
         if wait <= 0:
             forward(req)
         else:
             self._throttled_in_flight += 1
-            self.sim.schedule(wait, lambda: self._release(req, forward))
+            generation = self._generation
+            self.sim.schedule(wait, lambda: self._release(req, forward, generation))
 
-    def _release(self, req: IoRequest, forward: ForwardFn) -> None:
+    def _release(self, req: IoRequest, forward: ForwardFn, generation: int) -> None:
+        if generation != self._generation:
+            # The limits changed while this request was queued: re-reserve
+            # under the current configuration and wait out any extra delay
+            # (it stays counted as throttled until it actually dispatches).
+            wait = self._wait_for(req, self.sim.now)
+            if wait > 0:
+                generation = self._generation
+                self.sim.schedule(
+                    wait, lambda: self._release(req, forward, generation)
+                )
+                return
         self._throttled_in_flight -= 1
         forward(req)
 

@@ -13,6 +13,13 @@ appends one flat row to its time series.
 Rows are plain ``dict[str, float|int]`` keyed by dotted metric names so
 exporters can serialize them without a schema; the set of keys may grow
 over the run (cgroups appear in the active set when they first do I/O).
+
+Rows can also be *streamed*: :meth:`StackSampler.subscribe` registers a
+callback invoked with each fresh row as it is recorded, which is how the
+:mod:`repro.ctl` control plane observes the stack without waiting for
+the run to finish. A sampler built with ``retain=False`` feeds its
+subscribers but keeps no history -- the control-plane configuration,
+where the time series itself is not an artifact of the run.
 """
 
 from __future__ import annotations
@@ -20,19 +27,32 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 SnapshotFn = Callable[[], Mapping[str, float]]
+SubscriberFn = Callable[[dict], None]
 
 
 class StackSampler:
     """Polls a snapshot function at a fixed simulated period."""
 
-    def __init__(self, sim, period_us: float, snapshot: SnapshotFn):
+    def __init__(self, sim, period_us: float, snapshot: SnapshotFn, retain: bool = True):
         if period_us <= 0:
             raise ValueError("sampler period must be positive")
         self.sim = sim
         self.period_us = period_us
         self.snapshot = snapshot
+        self.retain = retain
         self.samples: list[dict] = []
+        self._subscribers: list[SubscriberFn] = []
         self._running = False
+
+    def subscribe(self, fn: SubscriberFn) -> None:
+        """Stream every future row to ``fn`` (called after it is recorded).
+
+        Subscribers run inside the sampler's tick event, in subscription
+        order, on the simulated clock -- a subscriber that reconfigures
+        the stack (the control plane) therefore acts deterministically
+        between two sampling periods.
+        """
+        self._subscribers.append(fn)
 
     def start(self) -> None:
         """Begin sampling (idempotent). First sample after one period."""
@@ -51,7 +71,10 @@ class StackSampler:
             return
         row = {"t_us": self.sim.now}
         row.update(self.snapshot())
-        self.samples.append(row)
+        if self.retain:
+            self.samples.append(row)
+        for fn in self._subscribers:
+            fn(row)
         self.sim.schedule(self.period_us, self._tick)
 
     def keys(self) -> list[str]:

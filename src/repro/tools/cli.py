@@ -12,6 +12,7 @@ Subcommands mirror the benchmark suite::
     isol-bench d5 [--quick|--mini] [--faults a,b]  # robustness ranking
     isol-bench tune --slo ... [--knob auto] [--budget N]  # SLO autotuner
     isol-bench place [--fleet spec.json] [--strategy serifos]  # fleet placement
+    isol-bench ctl [--mini] [--trace-out d.jsonl]  # D8 online control matrix
     isol-bench bench [--mini] [--compare]    # pinned perf suite + trajectory
     isol-bench cache stats|path|clear        # result-cache maintenance
 
@@ -441,6 +442,96 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ctl(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.core.d8_online import (
+        CTL_KNOBS,
+        DEFAULT_PATTERNS,
+        ONLINE,
+        OnlineControlSettings,
+        build_scenarios,
+        evaluate_online_control,
+        mini_settings,
+        quick_settings,
+    )
+
+    if args.mini:
+        settings = mini_settings()
+    elif args.quick:
+        settings = quick_settings()
+    else:
+        settings = OnlineControlSettings()
+    if args.knobs:
+        settings.knobs = tuple(
+            name.strip() for name in args.knobs.split(",") if name.strip()
+        )
+    if args.patterns:
+        settings.patterns = tuple(
+            name.strip() for name in args.patterns.split(",") if name.strip()
+        )
+    unknown = set(settings.knobs) - set(CTL_KNOBS)
+    if unknown:
+        raise SystemExit(
+            f"unknown knobs: {sorted(unknown)}; options: {list(CTL_KNOBS)}"
+        )
+    unknown = set(settings.patterns) - set(DEFAULT_PATTERNS)
+    if unknown:
+        raise SystemExit(
+            f"unknown patterns: {sorted(unknown)}; "
+            f"options: {list(DEFAULT_PATTERNS)}"
+        )
+
+    with _build_executor(args) as executor:
+        table = evaluate_online_control(settings, executor=executor)
+        stats = executor.stats
+    print(table.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(table.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote control matrix JSON: {args.json}")
+    if args.trace_out or args.prof:
+        # The sweep only returns summaries; the decision trace and the
+        # profile live on the Host, so re-run the requested online cell
+        # locally (cheap: one scenario out of the matrix).
+        knob, _, pattern = args.cell.partition("/")
+        try:
+            narrowed = dataclasses.replace(
+                settings, knobs=(knob,), patterns=(pattern,)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--cell: {exc}") from None
+        scenarios, labels = build_scenarios(narrowed)
+        online = next(
+            scenario
+            for scenario, label in zip(scenarios, labels)
+            if label[2] == ONLINE
+        )
+        if args.prof:
+            from repro.prof import ProfConfig
+
+            online = dataclasses.replace(online, prof=ProfConfig())
+        result = run_scenario(online)
+        if args.trace_out:
+            from repro.ctl import write_ctl_trace
+
+            count = write_ctl_trace(result.ctl_trace, args.trace_out)
+            print(
+                f"wrote decision trace ({count} records, "
+                f"{knob}/{pattern} online): {args.trace_out}"
+            )
+        if args.prof:
+            from repro.prof import format_phase_table
+
+            print(f"\nengine phase breakdown ({knob}/{pattern} online):")
+            print(format_phase_table(result.profile))
+    print(_sweep_stats_line(executor))
+    print(_perf_line(stats.events_processed, stats.elapsed_seconds))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -702,6 +793,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also write the comparison as JSON")
     _add_executor_args(p)
     p.set_defaults(fn=_cmd_place)
+
+    p = sub.add_parser(
+        "ctl",
+        help="D8: online knob control vs static tuning across arrival patterns",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="longer-run effort level"
+    )
+    p.add_argument(
+        "--mini", action="store_true", help="smoke effort level (CI; the default)"
+    )
+    p.add_argument(
+        "--knobs",
+        default=None,
+        help="comma-separated knob filter (default: io.max,io.cost,io.latency)",
+    )
+    p.add_argument(
+        "--patterns",
+        default=None,
+        help="comma-separated arrival-pattern filter (default: all five)",
+    )
+    p.add_argument("--json", default=None, help="also write the matrix as JSON")
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="re-run the --cell online scenario and write its decision trace JSONL",
+    )
+    p.add_argument(
+        "--cell",
+        default="io.max/flash-crowd",
+        help="knob/pattern cell for --trace-out/--prof (default: io.max/flash-crowd)",
+    )
+    p.add_argument(
+        "--prof",
+        action="store_true",
+        help="self-profile the --cell online scenario and print the phase table",
+    )
+    _add_executor_args(p)
+    p.set_defaults(fn=_cmd_ctl)
 
     p = sub.add_parser(
         "bench",

@@ -25,6 +25,7 @@ from repro.tune.slo import (
     SloSpec,
     SloTerm,
     parse_slo,
+    score_cgroup_stats,
     score_summary,
 )
 from repro.tune.space import TUNABLE_KNOBS, KnobSpace, Parameter, build_space
@@ -45,6 +46,7 @@ __all__ = [
     "SloSpec",
     "SloTerm",
     "parse_slo",
+    "score_cgroup_stats",
     "score_summary",
     "TUNABLE_KNOBS",
     "KnobSpace",

@@ -278,20 +278,27 @@ def _capped(violation: float) -> float:
     return max(0.0, min(VIOLATION_CAP, violation))
 
 
-def score_summary(
+def score_cgroup_stats(
     spec: SloSpec,
-    summary: ScenarioSummary,
+    groups: dict,
+    device_scale: float,
+    aggregate_bandwidth_mib_s: float | None = None,
     ssd: SsdModel | None = None,
 ) -> SloScore:
-    """Score one scenario summary against an SLO spec.
+    """Score a set of per-cgroup window stats against an SLO spec.
 
-    ``ssd`` is the *unscaled* device model, used only to derive the
-    utilization reference when the spec does not pin one; it is required
-    when ``spec.utilization_floor`` is set and no explicit
-    ``utilization_reference_mib_s`` is given.
+    The shared core behind :func:`score_summary` (whole-run scoring for
+    the tuner) and the :mod:`repro.ctl` control plane (windowed live
+    scoring mid-run): ``groups`` maps cgroup paths to
+    :class:`~repro.metrics.collector.AppWindowStats`-shaped objects in
+    *dilated* units, which this function converts back to full device
+    speed using ``device_scale``. ``aggregate_bandwidth_mib_s`` is the
+    full-speed all-group bandwidth for the utilization term (required
+    when ``spec.utilization_floor`` is set); ``ssd`` is the unscaled
+    device model used to derive the utilization reference when the spec
+    does not pin one.
     """
-    scale = summary.device_scale
-    groups = summary.cgroup_stats()
+    scale = device_scale
     terms: list[SloTerm] = []
 
     for group in spec.groups:
@@ -330,7 +337,11 @@ def score_summary(
                     "utilization_reference_mib_s or the scenario's SsdModel"
                 )
             reference = default_utilization_reference_mib_s(ssd)
-        utilization = summary.equivalent_bandwidth_gib_s * 1024.0 / reference
+        if aggregate_bandwidth_mib_s is None:
+            raise ValueError(
+                "utilization_floor needs the aggregate full-speed bandwidth"
+            )
+        utilization = aggregate_bandwidth_mib_s / reference
         violation = _capped(
             (spec.utilization_floor - utilization) / spec.utilization_floor
         )
@@ -341,4 +352,25 @@ def score_summary(
     return SloScore(
         terms=tuple(terms),
         weights=(spec.latency_weight, spec.bandwidth_weight, spec.utilization_weight),
+    )
+
+
+def score_summary(
+    spec: SloSpec,
+    summary: ScenarioSummary,
+    ssd: SsdModel | None = None,
+) -> SloScore:
+    """Score one scenario summary against an SLO spec.
+
+    ``ssd`` is the *unscaled* device model, used only to derive the
+    utilization reference when the spec does not pin one; it is required
+    when ``spec.utilization_floor`` is set and no explicit
+    ``utilization_reference_mib_s`` is given.
+    """
+    return score_cgroup_stats(
+        spec,
+        summary.cgroup_stats(),
+        summary.device_scale,
+        aggregate_bandwidth_mib_s=summary.equivalent_bandwidth_gib_s * 1024.0,
+        ssd=ssd,
     )

@@ -15,8 +15,24 @@ closed-loop issuer that keeps ``queue_depth`` requests outstanding,
 honouring rate limits and activity windows.
 """
 
-from repro.workloads.spec import JobSpec, ActivityWindow
+from repro.workloads.spec import JobSpec, ActivityWindow, ArrivalPhase
 from repro.workloads.apps import lc_app, batch_app, be_app
 from repro.workloads.generator import App
+from repro.workloads.patterns import (
+    churn_windows,
+    diurnal_phases,
+    flash_crowd_phases,
+)
 
-__all__ = ["JobSpec", "ActivityWindow", "lc_app", "batch_app", "be_app", "App"]
+__all__ = [
+    "JobSpec",
+    "ActivityWindow",
+    "ArrivalPhase",
+    "lc_app",
+    "batch_app",
+    "be_app",
+    "App",
+    "churn_windows",
+    "diurnal_phases",
+    "flash_crowd_phases",
+]

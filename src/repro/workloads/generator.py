@@ -61,7 +61,12 @@ class App:
 
     def start(self) -> None:
         """Arm window-start events."""
-        if self.spec.arrival_rate_iops is not None:
+        if self.spec.arrival_phases is not None:
+            for phase in self.spec.arrival_phases:
+                self.sim.schedule_at(
+                    phase.start_us, lambda p=phase: self._arrive_phase(p)
+                )
+        elif self.spec.arrival_rate_iops is not None:
             if self.spec.macro_tick_us is not None:
                 for window in self.spec.windows:
                     self.sim.schedule_at(
@@ -88,6 +93,23 @@ class App:
         self._issue_one()
         gap = self.rng.expovariate(self.spec.arrival_rate_iops / 1e6)
         self.sim.schedule(gap, lambda: self._arrive(window))
+
+    def _arrive_phase(self, phase) -> None:
+        """Open-loop Poisson arrivals at a phase's rate, one chain each.
+
+        Identical mechanics to :meth:`_arrive` (same RNG stream, so a
+        single-phase job reproduces a constant-rate job bit-for-bit),
+        but the rate is the phase's own: each phase of the timeline
+        runs its chain inside ``[start_us, stop_us)`` and dies at the
+        boundary, where the next phase's chain -- armed at
+        :meth:`start` -- takes over at its rate.
+        """
+        if not phase.start_us <= self.sim.now < phase.stop_us:
+            return
+        self.outstanding += 1
+        self._issue_one()
+        gap = self.rng.expovariate(phase.rate_iops / 1e6)
+        self.sim.schedule(gap, lambda: self._arrive_phase(phase))
 
     def _macro_tick(self, window) -> None:
         """Open-loop arrivals, one engine callback per macro tick.
@@ -168,5 +190,5 @@ class App:
     def on_complete(self, req: IoRequest) -> None:
         """Called by the host when one of this app's requests completes."""
         self.outstanding -= 1
-        if self.spec.arrival_rate_iops is None:
+        if self.spec.arrival_rate_iops is None and self.spec.arrival_phases is None:
             self._fill()

@@ -1,0 +1,118 @@
+"""Time-varying arrival patterns (the D8 online-control stressors).
+
+A statically tuned cgroup configuration is tuned against *one* load
+level; these builders construct the load shapes under which that tuning
+goes stale:
+
+* :func:`diurnal_phases` -- a smooth day/night ramp, piecewise-constant
+  approximation of a raised cosine between a base and a peak rate;
+* :func:`flash_crowd_phases` -- a steady base rate with a sudden
+  multiple-of-base crowd arriving mid-run and leaving again;
+* :func:`churn_windows` -- staggered start/stop activity windows for a
+  population of tenants, so the *set* of active groups (and with it the
+  fair share each deserves) keeps changing.
+
+Phase and window times are raw simulated microseconds, the
+:class:`~repro.workloads.spec.ActivityWindow` convention: build them
+against the already-dilated timeline of the scenario they feed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.spec import ActivityWindow, ArrivalPhase
+
+
+def diurnal_phases(
+    base_iops: float,
+    peak_iops: float,
+    period_us: float,
+    steps: int = 8,
+    start_us: float = 0.0,
+    cycles: int = 1,
+) -> tuple[ArrivalPhase, ...]:
+    """A raised-cosine day/night arrival ramp as piecewise phases.
+
+    The rate over one period follows ``base + (peak - base) * (1 -
+    cos(2 pi t / period)) / 2`` -- starting and ending at ``base_iops``
+    with the peak mid-period -- sampled at ``steps`` equal intervals
+    (each interval holds the rate at its midpoint, so the approximation
+    neither clips the peak nor widens it).
+    """
+    if peak_iops < base_iops:
+        raise ValueError("peak rate must be >= base rate")
+    if steps < 2:
+        raise ValueError("a diurnal ramp needs at least 2 steps")
+    if cycles < 1:
+        raise ValueError("cycles must be >= 1")
+    step_us = period_us / steps
+    phases = []
+    for cycle in range(cycles):
+        cycle_start = start_us + cycle * period_us
+        for i in range(steps):
+            midpoint = (i + 0.5) / steps
+            rate = base_iops + (peak_iops - base_iops) * (
+                1.0 - math.cos(2.0 * math.pi * midpoint)
+            ) / 2.0
+            phases.append(
+                ArrivalPhase(
+                    start_us=cycle_start + i * step_us,
+                    stop_us=cycle_start + (i + 1) * step_us,
+                    rate_iops=rate,
+                )
+            )
+    return tuple(phases)
+
+
+def flash_crowd_phases(
+    base_iops: float,
+    crowd_iops: float,
+    crowd_start_us: float,
+    crowd_duration_us: float,
+    end_us: float = math.inf,
+) -> tuple[ArrivalPhase, ...]:
+    """A steady base rate with a flash crowd arriving mid-run.
+
+    Three phases: base until ``crowd_start_us``, ``crowd_iops`` for
+    ``crowd_duration_us``, then base again until ``end_us``. The crowd
+    must land strictly inside ``(0, end_us)`` so every run contains a
+    before, a during and an after.
+    """
+    if crowd_start_us <= 0:
+        raise ValueError("the crowd must arrive after the run starts")
+    crowd_stop_us = crowd_start_us + crowd_duration_us
+    if crowd_stop_us >= end_us:
+        raise ValueError("the crowd must recede before the timeline ends")
+    return (
+        ArrivalPhase(0.0, crowd_start_us, base_iops),
+        ArrivalPhase(crowd_start_us, crowd_stop_us, crowd_iops),
+        ArrivalPhase(crowd_stop_us, end_us, base_iops),
+    )
+
+
+def churn_windows(
+    tenant_index: int,
+    n_tenants: int,
+    duration_us: float,
+    overlap: float = 2.0,
+) -> tuple[ActivityWindow, ...]:
+    """Staggered start/stop windows for one tenant of a churning set.
+
+    The run is divided into ``n_tenants`` equal slots; tenant ``i``
+    becomes active at the start of slot ``i`` and stays active for
+    ``overlap`` slots (clamped to the run end), so roughly ``overlap``
+    tenants run at any moment while tenant starts and stops land every
+    ``duration_us / n_tenants`` -- the "new groups start or stop" regime
+    the paper says static io.max translation cannot follow (§VII).
+    """
+    if not 0 <= tenant_index < n_tenants:
+        raise ValueError("tenant_index must be in [0, n_tenants)")
+    if duration_us <= 0:
+        raise ValueError("duration must be positive")
+    if overlap <= 0:
+        raise ValueError("overlap must be positive")
+    slot_us = duration_us / n_tenants
+    start_us = tenant_index * slot_us
+    stop_us = min(duration_us, start_us + overlap * slot_us)
+    return (ActivityWindow(start_us, stop_us),)

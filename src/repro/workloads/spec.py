@@ -23,6 +23,30 @@ class ActivityWindow:
 
 
 @dataclass(frozen=True)
+class ArrivalPhase:
+    """One interval of an open-loop job's time-varying arrival rate.
+
+    A phased job is the open-loop Poisson generator with a piecewise-
+    constant rate: inside ``[start_us, stop_us)`` arrivals come at
+    ``rate_iops``. Phases are the raw material of the :mod:`repro.
+    workloads.patterns` builders (diurnal ramps, flash crowds) that the
+    D8 online-control study stresses static configurations with.
+    """
+
+    start_us: float
+    stop_us: float
+    rate_iops: float
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0:
+            raise ValueError("phase start must be >= 0")
+        if self.stop_us <= self.start_us:
+            raise ValueError("phase stop must be after start")
+        if self.rate_iops <= 0:
+            raise ValueError("phase arrival rate must be positive")
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """A single app's workload definition.
 
@@ -59,6 +83,11 @@ class JobSpec:
     # only where that coarsening is acceptable (throughput studies, not
     # per-request latency tails).
     macro_tick_us: float | None = None
+    # Time-varying open-loop arrivals: a sorted, non-overlapping phase
+    # timeline replacing the single ``arrival_rate_iops`` constant (the
+    # two are mutually exclusive). Phase times are raw simulated
+    # microseconds, same convention as ``windows``.
+    arrival_phases: tuple[ArrivalPhase, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -81,6 +110,20 @@ class JobSpec:
                 raise ValueError("macro_tick_us requires arrival_rate_iops")
             if self.macro_tick_us <= 0:
                 raise ValueError("macro_tick_us must be positive when set")
+        if self.arrival_phases is not None:
+            if self.arrival_rate_iops is not None:
+                raise ValueError(
+                    "arrival_phases and arrival_rate_iops are mutually exclusive"
+                )
+            if self.rate_limit_bps is not None:
+                raise ValueError("phased jobs cannot also set a rate limit")
+            if self.macro_tick_us is not None:
+                raise ValueError("phased jobs cannot use macro-tick batching")
+            if not self.arrival_phases:
+                raise ValueError("arrival_phases must not be empty when set")
+            for earlier, later in zip(self.arrival_phases, self.arrival_phases[1:]):
+                if later.start_us < earlier.stop_us:
+                    raise ValueError("arrival phases must be sorted and non-overlapping")
         if not self.windows:
             raise ValueError("a job needs at least one activity window")
         ordered = sorted(self.windows, key=lambda w: w.start_us)

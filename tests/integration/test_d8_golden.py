@@ -1,0 +1,134 @@
+"""Golden regression for the D8 online-control matrix.
+
+Mirrors ``test_d5_golden.py``: the ``mini`` matrix (the ``isol-bench
+ctl --mini`` configuration) runs cold in tier-1 against
+``tests/data/d8_mini_golden.json``; the same module-scoped run doubles
+as the warm-cache proof (re-evaluating against the populated cache must
+execute zero scenarios) and the determinism bar (a 2-worker spawned
+sweep reproduces the matrix bit-identically).
+
+The *headline structure* is compared exactly — which (knob, pattern)
+cells the online controller holds while static violates, and every
+cell's SLO verdict. Dimensionful numbers (p99, MiB/s) carry tolerances
+that only absorb deliberate small re-calibrations.
+
+Regenerate after an intentional simulator change::
+
+    PYTHONPATH=src python -m tests.integration.test_d8_golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.d8_online import evaluate_online_control, mini_settings
+from repro.exec import ResultCache, SweepExecutor
+
+DATA_DIR = pathlib.Path(__file__).parent.parent / "data"
+MINI_GOLDEN = DATA_DIR / "d8_mini_golden.json"
+
+#: Relative tolerance for dimensionful cells (p99 us, MiB/s).
+REL_TOL = 0.5
+#: Absolute slack for counters (controller steps / applied actuations).
+COUNT_ATOL = 25.0
+
+_CELL_FIELDS = ("prio_p99_us", "prio_mib_s", "be_mib_s", "ctl_applied", "ctl_steps")
+
+
+def assert_cell_close(got: dict, want: dict, context: str) -> None:
+    for name in ("knob", "pattern", "mode", "slo_met"):
+        assert got[name] == want[name], f"{context}.{name}"
+    for name in _CELL_FIELDS:
+        assert got[name] == pytest.approx(
+            want[name], rel=REL_TOL, abs=COUNT_ATOL
+        ), f"{context}.{name}: measured {got[name]!r}, golden {want[name]!r}"
+
+
+def assert_matches_golden(table, golden_path: pathlib.Path) -> None:
+    golden = json.loads(golden_path.read_text())
+    doc = table.to_json_dict()
+    assert doc["slo_p99_us"] == golden["slo_p99_us"]
+    assert doc["patterns"] == golden["patterns"]
+    assert doc["knobs"] == golden["knobs"]
+    assert doc["holds"] == golden["holds"]
+    for cell, expected in golden["cells"].items():
+        for mode in ("static", "online"):
+            assert_cell_close(
+                doc["cells"][cell][mode], expected[mode], f"{cell}.{mode}"
+            )
+
+
+@pytest.fixture(scope="module")
+def mini_run(tmp_path_factory):
+    """One cold mini matrix against a fresh cache."""
+    cache_dir = tmp_path_factory.mktemp("d8-cache")
+    with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as executor:
+        table = evaluate_online_control(mini_settings(), executor=executor)
+        stats = executor.stats
+    assert stats.executed > 0 and stats.cached == 0
+    return table, cache_dir, stats
+
+
+class TestMiniMatrix:
+    def test_matches_golden(self, mini_run):
+        table, _, _ = mini_run
+        assert_matches_golden(table, MINI_GOLDEN)
+
+    def test_online_holds_where_static_violates(self, mini_run):
+        """The acceptance bar: at least one pattern where the online
+        controller holds a p99 SLO the static configuration loses."""
+        table, _, _ = mini_run
+        held = table.holds()
+        assert held, "no (knob, pattern) cell held online while static violated"
+        # The flagship cell: the PID io.max loop under a flash crowd.
+        assert ("io.max", "flash-crowd") in held
+
+    def test_static_is_tuned_at_base(self, mini_run):
+        """Static configs must meet the SLO on the steady pattern (they
+        are tuned-at-base, not strawmen)."""
+        table, _, _ = mini_run
+        for knob in table.knobs:
+            pair = table.pair(knob, "steady")
+            assert pair.static.slo_met, f"{knob} static violates at base load"
+            assert pair.online.slo_met, f"{knob} online violates at base load"
+
+    def test_online_never_worse_than_static(self, mini_run):
+        """The controller must not lose an SLO static holds."""
+        table, _, _ = mini_run
+        for (knob, pattern), pair in table.pairs.items():
+            if pair.static.slo_met:
+                assert pair.online.slo_met, f"{knob}/{pattern}: online regressed"
+
+    def test_warm_cache_executes_zero_scenarios(self, mini_run):
+        table, cache_dir, cold_stats = mini_run
+        with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as warm:
+            rerun = evaluate_online_control(mini_settings(), executor=warm)
+            assert warm.stats.executed == 0
+            assert warm.stats.failed == 0
+            assert warm.stats.cached == cold_stats.executed
+        assert rerun.render() == table.render()
+        assert rerun.to_json_dict() == table.to_json_dict()
+
+    def test_two_worker_sweep_bit_identical_to_serial(self, mini_run):
+        """The determinism bar: --workers 2 vs serial, uncached."""
+        table, _, _ = mini_run
+        with SweepExecutor(max_workers=2) as pool:
+            parallel = evaluate_online_control(mini_settings(), executor=pool)
+            assert pool.stats.executed > 0  # genuinely recomputed
+        assert parallel.to_json_dict() == table.to_json_dict()
+        assert parallel.render() == table.render()
+
+
+def _regenerate() -> None:
+    table = evaluate_online_control(mini_settings())
+    MINI_GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    MINI_GOLDEN.write_text(
+        json.dumps(table.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    print(table.render())
+    print(f"wrote {MINI_GOLDEN}")
+
+
+if __name__ == "__main__":
+    _regenerate()

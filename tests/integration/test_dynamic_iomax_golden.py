@@ -1,0 +1,89 @@
+"""Golden pin of the pre-Controller ``DynamicIoMaxManager`` behavior.
+
+PR 9 generalizes the one-off dynamic io.max practitioner loop onto the
+``repro.ctl`` Controller base. This test freezes the manager's exact
+observable behavior *before* that refactor -- the full deterministic
+summary content (hashed), the per-group window stats, and the number of
+adjustment ticks -- so the generalization is provably
+behavior-preserving: any drift in event timing, knob writes or active-set
+detection changes the hash.
+
+Regenerate (only for an intentional behavior change) with::
+
+    PYTHONPATH=src python tests/integration/test_dynamic_iomax_golden.py
+"""
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.config import DynamicIoMaxKnob, Scenario
+from repro.core.runner import run_scenario
+from repro.exec.summary import summarize
+from repro.workloads.apps import batch_app
+from repro.workloads.spec import ActivityWindow
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "dynamic_iomax_golden.json"
+
+WEIGHTS = {"/t/heavy": 300, "/t/light": 100}
+HEAVY_STOPS_AT_US = 0.25e6
+
+
+def _scenario() -> Scenario:
+    """A small start/stop timeline under the managed io.max knob.
+
+    Mirrors the ablation bench's shape (heavy tenant stops mid-run, the
+    manager reassigns its share to the survivor) at mini scale.
+    """
+    heavy = dataclasses.replace(
+        batch_app("heavy", "/t/heavy", queue_depth=32),
+        windows=(ActivityWindow(0.0, HEAVY_STOPS_AT_US),),
+    )
+    light = batch_app("light", "/t/light", queue_depth=32)
+    return Scenario(
+        name="dynamic-iomax-golden",
+        knob=DynamicIoMaxKnob(weights=WEIGHTS, adjust_period_us=100_000.0),
+        apps=[heavy, light],
+        duration_s=0.6,
+        warmup_s=0.1,
+        device_scale=16.0,
+    )
+
+
+def _observe() -> dict:
+    """Run the pinned scenario and distill the golden document."""
+    result = run_scenario(_scenario())
+    summary = summarize(result)
+    content = json.dumps(summary.content_dict(), sort_keys=True)
+    manager = result.host.iomax_managers[0]
+    groups = {}
+    for path, stats in sorted(result.cgroup_stats().items()):
+        groups[path] = {
+            "ios": stats.ios,
+            "bytes": stats.bytes,
+            "p99_us": stats.latency.p99_us if stats.latency else None,
+        }
+    return {
+        "adjustments": manager.adjustments,
+        "content_sha256": hashlib.sha256(content.encode()).hexdigest(),
+        "groups": groups,
+    }
+
+
+def test_dynamic_iomax_behavior_is_pinned():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    observed = _observe()
+    assert observed["adjustments"] == golden["adjustments"]
+    assert observed["groups"] == golden["groups"]
+    assert observed["content_sha256"] == golden["content_sha256"]
+
+
+def _regenerate() -> None:
+    """Rewrite the golden from the current code (intentional changes only)."""
+    GOLDEN_PATH.write_text(json.dumps(_observe(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()

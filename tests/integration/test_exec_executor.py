@@ -153,7 +153,7 @@ class TestCaching:
         perfectly valid."""
         from repro.exec.cachekey import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION >= 2  # v2 added Scenario.faults / fault_counters
+        assert SCHEMA_VERSION >= 4  # v4 added Scenario.ctl / arrival phases
         scenario = tiny_scenario("schema-drift")
         cache = ResultCache(tmp_path / "cache")
         with SweepExecutor(max_workers=1, cache=cache) as pool:

@@ -1,0 +1,122 @@
+"""Property tests for the control primitives' hardening guarantees.
+
+The contract (``repro.ctl.pid`` docstring): a controller fed arbitrary
+garbage -- NaN errors, infinite proposals, negative settings -- must
+degrade to "hold the current setting", never emit NaN, a negative
+limit, or a value outside its configured bounds. Hypothesis drives the
+primitives with unconstrained float streams to pin that down harder
+than any example-based test can.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctl.config import PidParams
+from repro.ctl.pid import PidState, RateLimiter
+
+#: Any float at all, including nan and the infinities.
+any_float = st.floats(allow_nan=True, allow_infinity=True)
+
+#: A plausible knob setting: finite, strictly positive.
+positive_float = st.floats(
+    min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+#: Modest non-negative PID gains (the config layer enforces >= 0).
+gain = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def pid_states(draw):
+    """A validly constructed PidState with random bounds and gains."""
+    lo = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    span = draw(st.floats(min_value=1e-3, max_value=100.0, allow_nan=False))
+    hi = lo + span
+    initial = lo + draw(st.floats(min_value=0.0, max_value=1.0)) * span
+    params = PidParams(
+        kp=draw(gain),
+        ki=draw(gain),
+        kd=draw(gain),
+        violation_boost=draw(st.floats(min_value=1.0, max_value=10.0)),
+    )
+    return PidState(params, lo, hi, initial)
+
+
+class TestPidStateProperties:
+    @settings(max_examples=200)
+    @given(pid=pid_states(), errors=st.lists(any_float, max_size=50))
+    def test_output_always_finite_and_in_bounds(self, pid, errors):
+        for error in errors:
+            output = pid.step(error)
+            assert math.isfinite(output)
+            assert pid.out_lo <= output <= pid.out_hi
+            assert math.isfinite(pid.integral)
+
+    @settings(max_examples=100)
+    @given(pid=pid_states(), errors=st.lists(any_float, max_size=50))
+    def test_integral_term_never_exceeds_output_span(self, pid, errors):
+        span = pid.out_hi - pid.out_lo
+        for error in errors:
+            pid.step(error)
+            assert abs(pid.params.ki * pid.integral) <= span + 1e-9
+
+    @settings(max_examples=100)
+    @given(pid=pid_states(), errors=st.lists(any_float, max_size=20))
+    def test_reset_restores_the_initial_output(self, pid, errors):
+        for error in errors:
+            pid.step(error)
+        pid.reset()
+        assert pid.output == pid.initial
+        assert pid.integral == 0.0
+
+
+class TestRateLimiterProperties:
+    @settings(max_examples=200)
+    @given(
+        current=positive_float,
+        proposals=st.lists(any_float, max_size=50),
+        step=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+        recover=st.one_of(
+            st.none(), st.floats(min_value=1e-3, max_value=1.0, allow_nan=False)
+        ),
+    )
+    def test_clamp_never_nan_or_negative(self, current, proposals, step, recover):
+        """Iterated clamping from a sane start stays finite and >= 0,
+        whatever garbage the proposals contain."""
+        limiter = RateLimiter(max_step_fraction=step, max_recover_fraction=recover)
+        for proposed in proposals:
+            current = limiter.clamp(current, proposed)
+            assert math.isfinite(current)
+            assert current >= 0.0
+
+    @settings(max_examples=200)
+    @given(current=positive_float, proposed=positive_float)
+    def test_clamp_respects_the_step_budget(self, current, proposed):
+        limiter = RateLimiter(max_step_fraction=0.5, max_recover_fraction=0.1)
+        value = limiter.clamp(current, proposed)
+        assert value >= current * 0.5 - 1e-9 * current
+        assert value <= current * 1.1 + 1e-9 * current
+
+    @settings(max_examples=200)
+    @given(current=positive_float, proposed=positive_float)
+    def test_in_budget_proposals_pass_through(self, current, proposed):
+        limiter = RateLimiter(max_step_fraction=1.0, max_recover_fraction=None)
+        if current * 0.0 <= proposed <= current * 2.0:
+            assert limiter.clamp(current, proposed) == proposed
+
+    @settings(max_examples=100)
+    @given(
+        marks=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False), max_size=20
+        ),
+        interval=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_ready_is_monotone_in_time(self, marks, interval):
+        limiter = RateLimiter(min_interval_us=interval)
+        for now in marks:
+            if limiter.ready(now):
+                limiter.mark(now)
+                # +1us slack: fl(now + interval) can round one ulp short.
+                assert limiter.ready(now + interval + 1.0)

@@ -1,0 +1,525 @@
+"""Control-plane primitives: PID, rate limiter, SLO error, controllers.
+
+The primitives carry the subsystem's hard guarantees -- an anti-windup
+PID that reacts immediately on error sign flips, a rate limiter whose
+asymmetric profile cuts fast but recovers slowly, and an ``slo_error``
+normalization every controller keys off. The controller classes are
+exercised against a real :class:`CgroupHierarchy` with synthetic
+observation windows, so each decision branch (drift / recover /
+deadband / min-interval / at-floor / at-ceiling / hold) is pinned here
+rather than only implicitly through the D8 goldens.
+"""
+
+import math
+
+import pytest
+
+from repro.cgroups.hierarchy import CgroupHierarchy
+from repro.cgroups.knobs import IoCostQosParams
+from repro.ctl import (
+    Actuation,
+    ControlObservation,
+    CtlConfig,
+    IoMaxCtlParams,
+    PidParams,
+    QdLimitCtlParams,
+    VrateCtlParams,
+)
+from repro.ctl.controllers import (
+    PidIoMaxController,
+    QdLimitController,
+    VrateController,
+    slo_error,
+)
+from repro.ctl.pid import PidState, RateLimiter
+from repro.tune.slo import SloScore, SloTerm
+
+DEV = "259:0"
+
+
+class FakeSim:
+    """The minimum a plane-driven controller needs: a clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.scheduled = []
+
+    def schedule(self, delay_us, fn):
+        self.scheduled.append((self.now + delay_us, fn))
+
+
+class FakeThrottle:
+    """Records kernel-side re-read pokes instead of throttling."""
+
+    def __init__(self):
+        self.invalidations = 0
+        self.qos_refreshes = 0
+        self.target_refreshes = 0
+
+    def invalidate(self):
+        self.invalidations += 1
+
+    def refresh_qos(self):
+        self.qos_refreshes += 1
+
+    def refresh_targets(self):
+        self.target_refreshes += 1
+
+
+def p99_obs(measured_us, target_us=300.0, t_us=0.0, extra_terms=()):
+    """An observation window with a single latency objective."""
+    violation = max(0.0, (measured_us - target_us) / target_us)
+    if not math.isfinite(measured_us):
+        violation = 1.0
+    terms = (
+        SloTerm("p99", "/t/prio", target_us, measured_us, violation),
+    ) + tuple(extra_terms)
+    return ControlObservation(
+        t_us=t_us,
+        window_us=100_000.0,
+        score=SloScore(terms=terms),
+        groups={},
+        row={},
+        device_scale=1.0,
+    )
+
+
+class TestPidState:
+    def params(self, **overrides):
+        fields = dict(kp=0.5, ki=0.1, kd=0.0)
+        fields.update(overrides)
+        return PidParams(**fields)
+
+    def test_positive_error_raises_output(self):
+        pid = PidState(self.params(), 0.0, 1.0, initial=0.5)
+        assert pid.step(0.2) > 0.5
+
+    def test_negative_error_lowers_output(self):
+        pid = PidState(self.params(), 0.0, 1.0, initial=0.5)
+        assert pid.step(-0.2) < 0.5
+
+    def test_output_clamped_to_bounds(self):
+        pid = PidState(self.params(kp=10.0), 0.0, 1.0, initial=0.5)
+        assert pid.step(5.0) == 1.0
+        assert pid.step(-5.0) == 0.0
+
+    def test_zero_error_holds_initial(self):
+        pid = PidState(self.params(), 0.0, 1.0, initial=0.5)
+        assert pid.step(0.0) == 0.5
+
+    def test_anti_windup_reacts_immediately_on_sign_flip(self):
+        """Conditional integration: after minutes pinned at the ceiling,
+        the first negative error must pull the output below the bound --
+        no accumulated windup to unwind first."""
+        pid = PidState(self.params(kp=1.0, ki=0.5), 0.0, 1.0, initial=0.5)
+        for _ in range(100):
+            assert pid.step(2.0) == 1.0
+        integral_at_saturation = pid.integral
+        assert pid.step(-0.4) < 1.0
+        # And the integral never grew while saturated.
+        windup = PidState(self.params(kp=1.0, ki=0.5), 0.0, 1.0, initial=0.5)
+        windup.step(2.0)
+        assert integral_at_saturation <= windup.integral + 2.0
+
+    def test_integral_is_bounded(self):
+        """ki * |integral| can never exceed the output span."""
+        pid = PidState(self.params(kp=0.0, ki=0.1), 0.0, 1.0, initial=0.5)
+        for _ in range(10_000):
+            pid.step(0.3)
+        assert abs(pid.params.ki * pid.integral) <= (pid.out_hi - pid.out_lo) + 1e-9
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_error_contributes_nothing(self, bad):
+        pid = PidState(self.params(), 0.0, 1.0, initial=0.5)
+        reference = PidState(self.params(), 0.0, 1.0, initial=0.5)
+        assert pid.step(bad) == reference.step(0.0)
+        assert math.isfinite(pid.output)
+
+    def test_derivative_zero_on_first_step(self):
+        with_kd = PidState(self.params(kd=5.0), 0.0, 1.0, initial=0.5)
+        without = PidState(self.params(kd=0.0), 0.0, 1.0, initial=0.5)
+        assert with_kd.step(0.1) == without.step(0.1)
+
+    def test_reset_forgets_history(self):
+        pid = PidState(self.params(), 0.0, 1.0, initial=0.5)
+        pid.step(0.4)
+        pid.step(-0.2)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert pid.last_error is None
+        assert pid.output == 0.5
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            PidState(self.params(), 1.0, 0.0, initial=0.5)
+        with pytest.raises(ValueError):
+            PidState(self.params(), 0.0, 1.0, initial=2.0)
+
+
+class TestRateLimiter:
+    def test_symmetric_clamp(self):
+        limiter = RateLimiter(max_step_fraction=0.5)
+        assert limiter.clamp(1.0, 0.2) == 0.5
+        assert limiter.clamp(1.0, 2.0) == 1.5
+        assert limiter.clamp(1.0, 0.8) == 0.8
+
+    def test_asymmetric_recovery_caps_upward_only(self):
+        """Cut fast, creep back slowly: downward steps keep the full
+        budget while upward steps are pinned to the recovery fraction."""
+        limiter = RateLimiter(max_step_fraction=0.5, max_recover_fraction=0.1)
+        assert limiter.clamp(1.0, 0.2) == 0.5  # down: full 50% budget
+        assert limiter.clamp(1.0, 2.0) == pytest.approx(1.1)  # up: 10% only
+
+    def test_min_interval_gates_ready(self):
+        limiter = RateLimiter(min_interval_us=1000.0)
+        assert limiter.ready(0.0)
+        limiter.mark(0.0)
+        assert not limiter.ready(999.0)
+        assert limiter.ready(1000.0)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf, -1.0])
+    def test_garbage_proposal_holds_current(self, bad):
+        limiter = RateLimiter(max_step_fraction=0.5)
+        assert limiter.clamp(1.0, bad) == 1.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, 0.0, -2.0])
+    def test_degenerate_current_passes_proposal(self, bad):
+        # A dead setting cannot anchor a relative step; the proposal
+        # (already known finite and non-negative) wins outright.
+        limiter = RateLimiter(max_step_fraction=0.5)
+        assert limiter.clamp(bad, 0.7) == 0.7
+
+
+class TestSloError:
+    def test_headroom_is_positive(self):
+        assert slo_error(p99_obs(150.0, target_us=300.0)) == pytest.approx(0.5)
+
+    def test_violation_is_negative(self):
+        assert slo_error(p99_obs(450.0, target_us=300.0)) == pytest.approx(-0.5)
+
+    def test_clamped_to_unit_interval(self):
+        assert slo_error(p99_obs(3000.0, target_us=300.0)) == -1.0
+
+    def test_starved_group_pins_at_minus_one(self):
+        assert slo_error(p99_obs(math.inf)) == -1.0
+
+    def test_worst_term_wins(self):
+        extra = SloTerm("p99", "/t/other", 300.0, 60.0, 0.0)
+        obs = p99_obs(270.0, target_us=300.0, extra_terms=(extra,))
+        assert slo_error(obs) == pytest.approx(0.1)
+
+    def test_non_latency_terms_ignored(self):
+        bw = SloTerm("bandwidth", "/t/be", 100.0, 10.0, 0.9)
+        obs = ControlObservation(
+            t_us=0.0,
+            window_us=1.0,
+            score=SloScore(terms=(bw,)),
+            groups={},
+            row={},
+            device_scale=1.0,
+        )
+        assert slo_error(obs) == 0.0
+
+
+class TestConfigValidation:
+    def test_pid_params_reject_negative_gains(self):
+        with pytest.raises(ValueError):
+            PidParams(kp=-0.1)
+        with pytest.raises(ValueError):
+            PidParams(violation_boost=0.5)
+
+    def test_iomax_params_reject_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            IoMaxCtlParams(floor_fraction=0.9, ceiling_fraction=0.5)
+        with pytest.raises(ValueError):
+            IoMaxCtlParams(max_recover_fraction=0.0)
+        with pytest.raises(ValueError):
+            IoMaxCtlParams(max_step_fraction=math.nan)
+
+    def test_vrate_params_reject_bad_steps(self):
+        with pytest.raises(ValueError):
+            VrateCtlParams(down_step=1.2)
+        with pytest.raises(ValueError):
+            VrateCtlParams(up_step=0.9)
+
+    def test_qdlimit_params_reject_bad_factors(self):
+        with pytest.raises(ValueError):
+            QdLimitCtlParams(tighten_factor=1.5)
+        with pytest.raises(ValueError):
+            QdLimitCtlParams(floor_fraction=0.5, ceiling_fraction=0.4)
+
+    def test_ctl_config_rejects_inverted_cadence(self):
+        from repro.tune.slo import GroupSlo, SloSpec
+
+        slo = SloSpec(groups=(GroupSlo("/t/prio", p99_latency_us=300.0),))
+        with pytest.raises(ValueError):
+            CtlConfig(slo=slo, period_us=10.0, sample_period_us=20.0)
+        with pytest.raises(ValueError):
+            CtlConfig(slo=slo, period_us=0.0)
+
+    def test_ticks_per_step_rounds_to_whole_ticks(self):
+        from repro.tune.slo import GroupSlo, SloSpec
+
+        slo = SloSpec(groups=(GroupSlo("/t/prio", p99_latency_us=300.0),))
+        cfg = CtlConfig(slo=slo, period_us=100_000.0, sample_period_us=30_000.0)
+        assert cfg.ticks_per_step == 3
+        assert CtlConfig(slo=slo).ticks_per_step == 5
+
+
+def make_iomax_controller(**param_overrides):
+    sim = FakeSim()
+    tree = CgroupHierarchy()
+    tree.create("/t/be", processes=True)
+    tree.find("/t/be").write("io.max", f"{DEV} rbps=500000000 wbps=500000000")
+    throttle = FakeThrottle()
+    params = IoMaxCtlParams(**param_overrides)
+    controller = PidIoMaxController(
+        sim,
+        tree,
+        [throttle],
+        [DEV],
+        "/t/be",
+        params,
+        max_read_bps=1e9,
+        initial_fraction=0.5,
+        period_us=100_000.0,
+    )
+    return sim, tree, throttle, controller
+
+
+class TestPidIoMaxController:
+    def test_no_observation_is_a_no_op(self):
+        _, _, throttle, controller = make_iomax_controller()
+        controller.observe(None)
+        assert controller.step() == []
+        assert throttle.invalidations == 0
+
+    def test_drift_tightens_and_rewrites_the_knob(self):
+        _, tree, throttle, controller = make_iomax_controller()
+        controller.observe(p99_obs(900.0))  # 3x over the 300us target
+        (actuation,) = controller.step()
+        assert actuation.applied and actuation.reason == "drift"
+        assert actuation.value < 0.5
+        assert controller.fraction == actuation.value
+        assert throttle.invalidations == 1
+        limits = tree.find("/t/be").read_parsed("io.max", DEV)
+        assert limits.rbps == pytest.approx(actuation.value * 1e9, rel=1e-6)
+
+    def test_recovery_is_slower_than_the_cut(self):
+        """The asymmetric profile: one violating window may cut the cap
+        by up to max_step_fraction; a meeting window claws back at most
+        max_recover_fraction of the (now lower) cap."""
+        sim, _, _, controller = make_iomax_controller(
+            max_step_fraction=0.5, max_recover_fraction=0.1, deadband_fraction=0.0
+        )
+        controller.observe(p99_obs(3000.0))
+        (cut,) = controller.step()
+        assert cut.applied and cut.value == pytest.approx(0.25)  # full -50%
+        sim.now += 100_000.0
+        controller.observe(p99_obs(50.0))  # wide-open headroom
+        (recover,) = controller.step()
+        assert recover.applied and recover.reason == "recover"
+        assert recover.value <= cut.value * 1.1 + 1e-9
+
+    def test_relative_deadband_suppresses_noise(self):
+        _, _, throttle, controller = make_iomax_controller(deadband_fraction=0.5)
+        controller.observe(p99_obs(295.0))  # ~1.7% headroom: tiny move
+        (actuation,) = controller.step()
+        assert not actuation.applied and actuation.reason == "deadband"
+        assert controller.fraction == 0.5
+        assert throttle.invalidations == 0
+
+    def test_min_interval_skips_back_to_back_writes(self):
+        sim, _, _, controller = make_iomax_controller(
+            min_interval_us=200_000.0, deadband_fraction=0.0
+        )
+        controller.observe(p99_obs(900.0))
+        (first,) = controller.step()
+        assert first.applied
+        sim.now += 100_000.0  # one period: still inside the interval
+        controller.observe(p99_obs(900.0))
+        (second,) = controller.step()
+        assert not second.applied and second.reason == "min-interval"
+        sim.now += 100_000.0
+        controller.observe(p99_obs(900.0))
+        (third,) = controller.step()
+        assert third.applied
+
+    def test_counters_fold_applied_and_skipped(self):
+        sim, _, _, controller = make_iomax_controller(deadband_fraction=0.0)
+        controller.observe(p99_obs(900.0))
+        controller.step()
+        sim.now += 100_000.0
+        controller.observe(None)
+        controller.step()
+        row = controller.counters()
+        assert row["applied"] == 1.0
+        assert row["skipped"] == 0.0
+        assert row["final_fraction"] == controller.fraction
+
+    def test_initial_fraction_clamped_into_bounds(self):
+        sim = FakeSim()
+        tree = CgroupHierarchy()
+        tree.create("/t/be", processes=True)
+        controller = PidIoMaxController(
+            sim,
+            tree,
+            [],
+            [DEV],
+            "/t/be",
+            IoMaxCtlParams(floor_fraction=0.2, ceiling_fraction=0.8),
+            max_read_bps=1e9,
+            initial_fraction=0.05,
+            period_us=100_000.0,
+        )
+        assert controller.fraction == 0.2
+
+
+def make_vrate_controller(**param_overrides):
+    sim = FakeSim()
+    tree = CgroupHierarchy()
+    throttle = FakeThrottle()
+    qos = IoCostQosParams(enable=True, vrate_min_pct=25.0, vrate_max_pct=100.0)
+    controller = VrateController(
+        sim,
+        tree,
+        [throttle],
+        [DEV],
+        qos,
+        VrateCtlParams(**param_overrides),
+        period_us=100_000.0,
+    )
+    return sim, tree, throttle, controller
+
+
+class TestVrateController:
+    def test_drift_shrinks_the_ceiling(self):
+        _, tree, throttle, controller = make_vrate_controller(down_step=0.8)
+        controller.observe(p99_obs(900.0))
+        (actuation,) = controller.step()
+        assert actuation.applied and actuation.reason == "drift"
+        assert actuation.value == pytest.approx(80.0)
+        assert throttle.qos_refreshes == 1
+        qos = tree.root.read_parsed("io.cost.qos", DEV)
+        assert qos.vrate_max_pct == pytest.approx(80.0)
+        # min never exceeds the shrunken max.
+        assert qos.vrate_min_pct <= qos.vrate_max_pct
+
+    def test_floor_stops_the_shrink(self):
+        sim, _, _, controller = make_vrate_controller(floor_pct=60.0)
+        for i in range(6):
+            sim.now = i * 100_000.0
+            controller.observe(p99_obs(900.0))
+            controller.step()
+        assert controller.ceiling_pct == pytest.approx(60.0)
+        controller.observe(p99_obs(900.0))
+        (parked,) = controller.step()
+        assert not parked.applied and parked.reason == "at-floor"
+
+    def test_recovery_stops_at_the_static_ceiling(self):
+        sim, _, _, controller = make_vrate_controller(up_step=1.5)
+        controller.observe(p99_obs(900.0))
+        controller.step()
+        assert controller.ceiling_pct < 100.0
+        for i in range(1, 8):
+            sim.now = i * 100_000.0
+            controller.observe(p99_obs(100.0))
+            controller.step()
+        assert controller.ceiling_pct == pytest.approx(100.0)
+        controller.observe(p99_obs(100.0))
+        (parked,) = controller.step()
+        assert not parked.applied and parked.reason == "at-ceiling"
+
+    def test_bandwidth_only_drift_holds(self):
+        """Latency fine but a bandwidth floor violated: shrinking vrate
+        would starve throughput harder, so the controller holds."""
+        _, _, throttle, controller = make_vrate_controller()
+        bw = SloTerm("bandwidth", "/t/be", 100.0, 10.0, 0.9)
+        controller.observe(p99_obs(100.0, extra_terms=(bw,)))
+        (actuation,) = controller.step()
+        assert not actuation.applied and actuation.reason == "hold"
+        assert throttle.qos_refreshes == 0
+
+
+def make_qd_controller(**param_overrides):
+    sim = FakeSim()
+    tree = CgroupHierarchy()
+    tree.create("/t/prio", processes=True)
+    tree.find("/t/prio").write("io.latency", f"{DEV} target=1000")
+    throttle = FakeThrottle()
+    controller = QdLimitController(
+        sim,
+        tree,
+        [throttle],
+        [DEV],
+        "/t/prio",
+        QdLimitCtlParams(**param_overrides),
+        initial_target_us=1000.0,
+        period_us=100_000.0,
+    )
+    return sim, tree, throttle, controller
+
+
+class TestQdLimitController:
+    def test_drift_tightens_the_target(self):
+        _, tree, throttle, controller = make_qd_controller(tighten_factor=0.7)
+        controller.observe(p99_obs(900.0))
+        (actuation,) = controller.step()
+        assert actuation.applied and actuation.reason == "drift"
+        assert actuation.value == pytest.approx(700.0)
+        assert throttle.target_refreshes == 1
+        parsed = tree.find("/t/prio").read_parsed("io.latency", DEV)
+        assert parsed == pytest.approx(700.0)
+
+    def test_floor_and_ceiling_are_relative_to_baseline(self):
+        sim, _, _, controller = make_qd_controller(
+            floor_fraction=0.5, ceiling_fraction=1.0
+        )
+        for i in range(6):
+            sim.now = i * 100_000.0
+            controller.observe(p99_obs(900.0))
+            controller.step()
+        assert controller.target_us == pytest.approx(500.0)
+        sim.now += 100_000.0
+        controller.observe(p99_obs(900.0))
+        (parked,) = controller.step()
+        assert not parked.applied and parked.reason == "at-floor"
+        for i in range(8, 16):
+            sim.now = i * 100_000.0
+            controller.observe(p99_obs(100.0))
+            controller.step()
+        assert controller.target_us == pytest.approx(1000.0)
+
+    def test_rejects_degenerate_initial_target(self):
+        sim = FakeSim()
+        tree = CgroupHierarchy()
+        tree.create("/t/prio", processes=True)
+        with pytest.raises(ValueError):
+            QdLimitController(
+                sim,
+                tree,
+                [],
+                [DEV],
+                "/t/prio",
+                QdLimitCtlParams(),
+                initial_target_us=0.0,
+                period_us=100_000.0,
+            )
+
+
+class TestActuationRecord:
+    def test_json_dict_is_self_describing(self):
+        actuation = Actuation(
+            t_us=1.0,
+            controller="pid-iomax",
+            knob="io.max",
+            cgroup="/t/be",
+            previous=0.5,
+            value=0.4,
+            applied=True,
+            reason="drift",
+        )
+        doc = actuation.to_json_dict()
+        assert doc["type"] == "actuation"
+        assert doc["reason"] == "drift"
+        assert doc["previous"] == 0.5 and doc["value"] == 0.4

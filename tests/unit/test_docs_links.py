@@ -83,12 +83,14 @@ def test_doc_files_present() -> None:
         "docs/tuning.md",
         "docs/profiling.md",
         "docs/fleet.md",
+        "docs/control.md",
         "docs/api/obs.md",
         "docs/api/exec.md",
         "docs/api/faults.md",
         "docs/api/tune.md",
         "docs/api/prof.md",
         "docs/api/fleet.md",
+        "docs/api/ctl.md",
         "README.md",
         "EXPERIMENTS.md",
     ):

@@ -22,10 +22,30 @@ from repro.core.config import (
     NoneKnob,
     Scenario,
 )
+from repro.ctl import CtlConfig, IoMaxCtlParams, PidParams
 from repro.exec.cachekey import SCHEMA_VERSION, canonical_text, scenario_key
 from repro.faults import get_fault_plan
 from repro.ssd.presets import samsung_980pro_like
+from repro.tune.slo import GroupSlo, SloSpec
 from repro.workloads.apps import batch_app, lc_app
+from repro.workloads.spec import ArrivalPhase, JobSpec
+
+
+def _ctl(**iomax_overrides) -> CtlConfig:
+    """A control-plane config anchored to the base scenario's LC group."""
+    return CtlConfig(
+        slo=SloSpec(groups=(GroupSlo("/tenants/b", p99_latency_us=300.0),)),
+        iomax=IoMaxCtlParams(**iomax_overrides),
+    )
+
+
+def _phased_app(rate_iops: float = 1000.0) -> JobSpec:
+    """An open-loop job with a time-varying arrival timeline."""
+    return JobSpec(
+        name="phased",
+        cgroup_path="/tenants/a",
+        arrival_phases=(ArrivalPhase(0.0, 50_000.0, rate_iops),),
+    )
 
 
 def base_scenario(**overrides) -> Scenario:
@@ -103,6 +123,10 @@ class TestScenarioKey:
             {"apps": [batch_app("batch0", "/tenants/a")]},
             {"apps": [batch_app("batch0", "/tenants/a", queue_depth=8),
                       lc_app("lc0", "/tenants/b")]},
+            {"ctl": _ctl()},
+            {"ctl": _ctl(deadband_fraction=0.03)},
+            {"apps": [_phased_app(), lc_app("lc0", "/tenants/b")]},
+            {"apps": [_phased_app(rate_iops=2000.0), lc_app("lc0", "/tenants/b")]},
         ],
         ids=lambda o: next(iter(o)),
     )
@@ -110,6 +134,15 @@ class TestScenarioKey:
         assert scenario_key(base_scenario(**overrides)) != scenario_key(
             base_scenario()
         )
+
+    def test_nested_ctl_params_perturb_key(self):
+        """Two control planes differing only in a nested PID gain or a
+        rate-limit fraction must not share a cache entry — the whole
+        CtlConfig tree renders into the key."""
+        base = scenario_key(base_scenario(ctl=_ctl()))
+        gain = scenario_key(base_scenario(ctl=_ctl(pid=PidParams(kp=0.6))))
+        step = scenario_key(base_scenario(ctl=_ctl(max_recover_fraction=0.2)))
+        assert len({base, gain, step}) == 3
 
     def test_knob_dict_insertion_order_irrelevant(self):
         forward = BfqKnob(weights={"/tenants/a": 100, "/tenants/b": 200})

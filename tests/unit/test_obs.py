@@ -122,6 +122,67 @@ class TestSampler:
             StackSampler(Simulator(), 0.0, dict)
 
 
+class TestSamplerStreaming:
+    """The subscribe/retain contract the repro.ctl plane builds on."""
+
+    def counting_sampler(self, retain=True):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def snapshot():
+            counter["n"] += 1
+            return {"n": counter["n"]}
+
+        sampler = StackSampler(sim, 10.0, snapshot, retain=retain)
+        return sim, sampler
+
+    def test_subscribers_see_every_row_in_order(self):
+        sim, sampler = self.counting_sampler()
+        seen = []
+        sampler.subscribe(seen.append)
+        sampler.start()
+        sim.run_until(55.0)
+        assert [row["n"] for row in seen] == [1, 2, 3, 4, 5]
+        assert [row["t_us"] for row in seen] == [10.0, 20.0, 30.0, 40.0, 50.0]
+        # Streaming and retention describe the same rows.
+        assert seen == sampler.samples
+
+    def test_subscribers_run_in_subscription_order(self):
+        sim, sampler = self.counting_sampler()
+        order = []
+        sampler.subscribe(lambda row: order.append("first"))
+        sampler.subscribe(lambda row: order.append("second"))
+        sampler.start()
+        sim.run_until(15.0)
+        assert order == ["first", "second"]
+
+    def test_retain_false_feeds_subscribers_but_keeps_no_history(self):
+        sim, sampler = self.counting_sampler(retain=False)
+        seen = []
+        sampler.subscribe(seen.append)
+        sampler.start()
+        sim.run_until(35.0)
+        assert len(seen) == 3
+        assert sampler.samples == []
+
+    def test_start_is_idempotent(self):
+        sim, sampler = self.counting_sampler()
+        sampler.start()
+        sampler.start()
+        sim.run_until(25.0)
+        assert len(sampler.samples) == 2  # one tick chain, not two
+
+    def test_stop_halts_the_stream(self):
+        sim, sampler = self.counting_sampler()
+        seen = []
+        sampler.subscribe(seen.append)
+        sampler.start()
+        sim.run_until(25.0)
+        sampler.stop()
+        sim.run_until(100.0)
+        assert len(seen) == 2
+
+
 class TestDeterminism:
     def test_identical_seeds_produce_identical_traces(self):
         a = run_scenario(traced_scenario(seed=7)).trace
