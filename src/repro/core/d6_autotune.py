@@ -53,6 +53,17 @@ class AutotuneSettings:
     n_be_apps: int = 4
     cores: int = 10
     seed: int = 42
+    #: Surrogate prefiltering: ``off`` (pure simulator search), ``auto``
+    #: (fit on the result-cache corpus, falling back with a notice when
+    #: it is too small), or a path to a saved model JSON.
+    surrogate: str = "off"
+    #: Candidates forwarded to the simulator per surrogate search;
+    #: None means the search ``budget`` (budget-for-budget comparable).
+    verify_top_k: int | None = None
+    #: Fewest corpus rows ``auto`` will fit on.
+    surrogate_min_rows: int = 32
+    #: Pool width multiplier (candidates scored per verified run).
+    surrogate_pool_factor: int = 64
 
     def __post_init__(self) -> None:
         if self.ssd is None:
@@ -64,6 +75,10 @@ class AutotuneSettings:
             raise ValueError(f"unknown knobs {sorted(unknown)}; options: {TUNABLE_KNOBS}")
         if self.budget < 1:
             raise ValueError("budget must be >= 1")
+        if self.verify_top_k is not None and self.verify_top_k < 1:
+            raise ValueError("verify_top_k must be >= 1 when set")
+        if self.surrogate_pool_factor < 1:
+            raise ValueError("surrogate_pool_factor must be >= 1")
 
 
 def quick_settings() -> AutotuneSettings:
@@ -111,6 +126,37 @@ def resolve_slo(text: str | None) -> SloSpec:
     return parse_slo(text) if text else default_slo()
 
 
+def resolve_surrogate_model(
+    settings: AutotuneSettings,
+    executor: SweepExecutor | None = None,
+):
+    """Resolve ``settings.surrogate`` into ``(model, notices)``.
+
+    ``off`` yields no model; a path loads a saved model JSON; ``auto``
+    fits on the result-cache corpus of whichever cache the executor
+    uses (the default cache directory otherwise). A missing or
+    too-small corpus is not fatal: ``auto`` falls back to the pure
+    simulator search and says so in an operator-facing notice.
+    """
+    if settings.surrogate == "off":
+        return None, []
+    from repro.surrogate import fit_from_corpus, load_corpus
+    from repro.surrogate.model import SurrogateModel
+
+    if settings.surrogate != "auto":
+        return SurrogateModel.load(settings.surrogate), []
+    cache = executor.cache if executor is not None else None
+    corpus = load_corpus(cache.root if cache is not None else None)
+    min_rows = max(1, settings.surrogate_min_rows)
+    if corpus.n_rows < min_rows:
+        return None, [
+            "surrogate=auto: corpus has "
+            f"{corpus.n_rows} rows (< {min_rows} required); "
+            "falling back to pure simulator search"
+        ]
+    return fit_from_corpus(corpus, seed=settings.seed), []
+
+
 def evaluate_autotune(
     settings: AutotuneSettings | None = None,
     slo: SloSpec | None = None,
@@ -148,10 +194,29 @@ def evaluate_autotune(
             executor=executor,
         )
         searches.append((space, evaluator))
+    model, notices = resolve_surrogate_model(settings, executor)
+    prefilters = None
+    budget = settings.budget
+    if model is not None:
+        from repro.surrogate import SurrogatePrefilter
+
+        prefilters = {
+            space.name: SurrogatePrefilter(
+                model=model,
+                slo=slo,
+                ssd=settings.ssd,
+                pool_factor=settings.surrogate_pool_factor,
+            )
+            for space, _ in searches
+        }
+        if settings.verify_top_k is not None:
+            budget = settings.verify_top_k
     return advise(
         searches,
         slo,
-        budget=settings.budget,
+        budget=budget,
         strategy=settings.strategy,
         seed=settings.seed,
+        prefilters=prefilters,
+        notices=notices,
     )

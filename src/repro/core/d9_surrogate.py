@@ -1,0 +1,392 @@
+"""D9: surrogate-accelerated tuning — is the learned prefilter worth it?
+
+The D6 study buys knob configurations with simulator runs; D9 asks
+whether a surrogate model (:mod:`repro.surrogate`) makes each run buy
+more. The comparison is budget-for-budget: for every knob, a **pure**
+arm searches the space with the knob's default strategy, and a
+**surrogate** arm scores a pool ``pool_factor`` times wider with the
+model and verifies only the top candidates — both arms submitting the
+*same* number of scenarios to the simulator.
+
+The surrogate is trained on its own deterministic sweep (a seeded
+per-knob pool disjoint from the search seed), not on whatever happens
+to be in the ambient result cache, so the evaluation is reproducible
+and golden-pinnable. Each row reports the achieved SLO score of both
+arms, whether the surrogate arm met-or-beat the pure arm, and the
+model's trust metrics — verified-set p99 MAE and rank correlation plus
+per-target training-fit tables — because a prefilter is only useful if
+its ranking can be audited.
+
+Everything fans out through the sweep executor, so ``isol-bench d9
+--workers N`` parallelizes the training sweeps and verification batches
+and reruns hit the result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.d6_autotune import default_slo
+from repro.core.report import render_table
+from repro.core.scenarios import BE_GROUP, PRIORITY_GROUP, robustness_specs
+from repro.exec.executor import SweepExecutor, resolve_executor
+from repro.ssd.model import SsdModel
+from repro.ssd.presets import samsung_980pro_like
+from repro.surrogate import (
+    SurrogateConfig,
+    SurrogatePrefilter,
+    corpus_from_pairs,
+    evaluate_model,
+    fit_from_corpus,
+)
+from repro.tune.evaluator import TuneEvaluator
+from repro.tune.search import search, surrogate_pool
+from repro.tune.slo import SloSpec
+from repro.tune.space import TUNABLE_KNOBS, build_space
+
+#: The three throttling knobs whose continuous spaces give a surrogate
+#: room to matter (the ``--mini`` knob set).
+THROTTLE_KNOBS = ("io.max", "io.latency", "io.cost")
+
+
+@dataclass
+class SurrogateStudySettings:
+    """Effort level, workload shape and arm budgets for D9."""
+
+    ssd: SsdModel = None  # type: ignore[assignment]
+    #: Knobs compared; defaults to all five Table-I control knobs.
+    knobs: tuple[str, ...] = TUNABLE_KNOBS
+    #: Simulator runs spent training the surrogate, per knob.
+    train_budget: int = 32
+    #: Simulator runs each arm may submit, per knob (the comparison is
+    #: budget-for-budget: both arms get exactly this many).
+    budget: int = 12
+    #: Candidates the surrogate scores per verified run.
+    pool_factor: int = 64
+    #: Model hyperparameters. D9 fits one model per knob on a small
+    #: dedicated sweep, so it wants a lighter fit than the library
+    #: default (which is tuned for pooled multi-knob cache corpora).
+    model_config: SurrogateConfig = None  # type: ignore[assignment]
+    duration_s: float = 2.0
+    warmup_s: float = 0.5
+    device_scale: float = 8.0
+    be_queue_depth: int = 64
+    n_be_apps: int = 4
+    cores: int = 10
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.ssd is None:
+            self.ssd = samsung_980pro_like()
+        if self.model_config is None:
+            self.model_config = SurrogateConfig(
+                n_members=4,
+                n_rounds=40,
+                learning_rate=0.2,
+                min_samples_leaf=3,
+            )
+        if not self.knobs:
+            raise ValueError("need at least one knob to compare")
+        unknown = set(self.knobs) - set(TUNABLE_KNOBS)
+        if unknown:
+            raise ValueError(f"unknown knobs {sorted(unknown)}; options: {TUNABLE_KNOBS}")
+        if self.train_budget < 2:
+            raise ValueError("train_budget must be >= 2")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.pool_factor < 1:
+            raise ValueError("pool_factor must be >= 1")
+
+
+def quick_settings() -> SurrogateStudySettings:
+    """The ``d9 --quick`` effort level: all five knobs, CI fidelity."""
+    return SurrogateStudySettings(
+        train_budget=24,
+        budget=8,
+        pool_factor=32,
+        duration_s=0.8,
+        warmup_s=0.2,
+        device_scale=8.0,
+    )
+
+
+def mini_settings() -> SurrogateStudySettings:
+    """Tier-1 / CI-smoke effort: the three throttlers in seconds."""
+    return SurrogateStudySettings(
+        knobs=THROTTLE_KNOBS,
+        train_budget=32,
+        budget=6,
+        pool_factor=16,
+        duration_s=0.3,
+        warmup_s=0.1,
+        device_scale=16.0,
+        be_queue_depth=32,
+        n_be_apps=2,
+    )
+
+
+@dataclass
+class ArmOutcome:
+    """One arm's result for one knob: what the budget bought."""
+
+    #: ``pure`` or ``surrogate``.
+    arm: str
+    #: Best measured SLO-violation total the arm found.
+    best_total: float
+    #: The space's label for the winning assignment.
+    best_label: str
+    #: True when the winner meets the SLO outright.
+    meets_slo: bool
+    #: Scenarios the arm submitted to the simulator.
+    calls: int
+
+    def to_json_dict(self) -> dict:
+        """Golden-friendly arm record."""
+        return {
+            "arm": self.arm,
+            "best_total": self.best_total,
+            "best_label": self.best_label,
+            "meets_slo": self.meets_slo,
+            "calls": self.calls,
+        }
+
+
+@dataclass
+class SurrogateStudyRow:
+    """One knob's budget-for-budget comparison plus trust metrics."""
+
+    knob: str
+    pure: ArmOutcome
+    surrogate: ArmOutcome
+    #: Scenarios spent training the knob's surrogate model.
+    train_calls: int
+    #: Training-corpus rows the model was fitted on.
+    train_rows: int
+    #: Candidates the prefilter scored (the widened pool).
+    scored: int
+    #: Candidates the simulator verified (the arm's budget).
+    verified: int
+    #: Verified-set p99 error: surrogate prediction vs simulator.
+    mae_p99_us: float
+    spearman_p99: float
+    #: Per-target training-fit metrics from ``evaluate_model``.
+    fit: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def meets_or_beats(self) -> bool:
+        """True when the surrogate arm's best is <= the pure arm's."""
+        return self.surrogate.best_total <= self.pure.best_total + 1e-9
+
+    @property
+    def widening(self) -> float:
+        """Candidates considered per simulator call, vs the pure arm."""
+        if self.pure.calls <= 0:
+            return 0.0
+        return self.scored / self.pure.calls
+
+    def to_json_dict(self) -> dict:
+        """Golden-friendly knob row."""
+        return {
+            "knob": self.knob,
+            "pure": self.pure.to_json_dict(),
+            "surrogate": self.surrogate.to_json_dict(),
+            "train_calls": self.train_calls,
+            "train_rows": self.train_rows,
+            "scored": self.scored,
+            "verified": self.verified,
+            "mae_p99_us": self.mae_p99_us,
+            "spearman_p99": self.spearman_p99,
+            "meets_or_beats": self.meets_or_beats,
+            "widening": self.widening,
+            "fit": {target: dict(metrics) for target, metrics in self.fit.items()},
+        }
+
+
+@dataclass
+class SurrogateStudyReport:
+    """The D9 result: per-knob arm comparisons plus trust tables."""
+
+    slo: str
+    budget: int
+    train_budget: int
+    pool_factor: int
+    rows: list[SurrogateStudyRow] = field(default_factory=list)
+
+    def row(self, knob: str) -> SurrogateStudyRow:
+        """The row for one knob name."""
+        for candidate in self.rows:
+            if candidate.knob == knob:
+                return candidate
+        raise KeyError(f"no d9 row for knob {knob!r}")
+
+    def meets_or_beats_all(self) -> bool:
+        """True when every knob's surrogate arm met-or-beat pure."""
+        return all(row.meets_or_beats for row in self.rows)
+
+    def render(self) -> str:
+        """Text report (the ``isol-bench d9`` output)."""
+        headers = (
+            "knob",
+            "pure",
+            "surrogate",
+            "meets-or-beats",
+            "calls/arm",
+            "scored",
+            "mae_p99(us)",
+            "spearman",
+        )
+        rows = [
+            (
+                row.knob,
+                f"{row.pure.best_total:.3f}",
+                f"{row.surrogate.best_total:.3f}",
+                "yes" if row.meets_or_beats else "no",
+                row.pure.calls,
+                row.scored,
+                f"{row.mae_p99_us:.1f}",
+                f"{row.spearman_p99:.2f}",
+            )
+            for row in self.rows
+        ]
+        arm_table = render_table(
+            headers,
+            rows,
+            title=(
+                f"SLO: {self.slo} -- pure vs surrogate at "
+                f"{self.budget} simulator calls/knob "
+                f"(train {self.train_budget}, pool x{self.pool_factor})"
+            ),
+        )
+        fit_headers = ("knob", "target", "train MAE", "train spearman")
+        fit_rows = [
+            (row.knob, target, f"{metrics['mae']:.3f}", f"{metrics['spearman']:.2f}")
+            for row in self.rows
+            for target, metrics in row.fit.items()
+        ]
+        fit_table = render_table(
+            fit_headers, fit_rows, title="surrogate training fit"
+        )
+        beat = sum(1 for row in self.rows if row.meets_or_beats)
+        return (
+            f"{arm_table}\n\n{fit_table}\n"
+            f"meets-or-beats: {beat}/{len(self.rows)} knobs"
+        )
+
+    def to_json_dict(self) -> dict:
+        """Golden-friendly document (rows keyed by knob)."""
+        return {
+            "slo": self.slo,
+            "budget": self.budget,
+            "train_budget": self.train_budget,
+            "pool_factor": self.pool_factor,
+            "meets_or_beats_all": self.meets_or_beats_all(),
+            "rows": {row.knob: row.to_json_dict() for row in self.rows},
+        }
+
+
+def evaluate_surrogate_study(
+    settings: SurrogateStudySettings | None = None,
+    slo: SloSpec | None = None,
+    executor: SweepExecutor | None = None,
+) -> SurrogateStudyReport:
+    """Run the per-knob pure-vs-surrogate comparison.
+
+    For each knob: run the training sweep (a seeded pool offset from the
+    search seed, so training points are not simply the search pool),
+    fit the surrogate on it, then run both arms with fresh evaluators at
+    the same submission budget. Deterministic end to end: the same
+    settings produce a bit-identical report at any worker count.
+    """
+    settings = settings or SurrogateStudySettings()
+    slo = slo or default_slo()
+    runner = resolve_executor(executor)
+    apps = robustness_specs(
+        be_queue_depth=settings.be_queue_depth, n_be_apps=settings.n_be_apps
+    )
+
+    def make_evaluator(space) -> TuneEvaluator:
+        return TuneEvaluator(
+            space=space,
+            slo=slo,
+            apps=apps,
+            ssd=settings.ssd,
+            device_scale=settings.device_scale,
+            duration_s=settings.duration_s,
+            warmup_s=settings.warmup_s,
+            seed=settings.seed,
+            cores=settings.cores,
+            executor=runner,
+        )
+
+    report = SurrogateStudyReport(
+        slo=slo.describe(),
+        budget=settings.budget,
+        train_budget=settings.train_budget,
+        pool_factor=settings.pool_factor,
+    )
+    for knob_name in settings.knobs:
+        space = build_space(
+            knob_name,
+            settings.ssd,
+            device_scale=settings.device_scale,
+            priority_group=PRIORITY_GROUP,
+            be_group=BE_GROUP,
+        )
+
+        trainer = make_evaluator(space)
+        train_values = surrogate_pool(
+            space, settings.train_budget, seed=settings.seed + 1
+        )
+        train_scenarios = [trainer.scenario_for(values) for values in train_values]
+        train_summaries = runner.run_strict(train_scenarios)
+        corpus = corpus_from_pairs(list(zip(train_scenarios, train_summaries)))
+        model = fit_from_corpus(
+            corpus, seed=settings.seed, config=settings.model_config
+        )
+        fit_metrics = evaluate_model(model, *corpus.matrices())
+
+        pure_evaluator = make_evaluator(space)
+        pure = search(
+            space, pure_evaluator, settings.budget, strategy="auto",
+            seed=settings.seed,
+        )
+
+        prefilter = SurrogatePrefilter(
+            model=model,
+            slo=slo,
+            ssd=settings.ssd,
+            pool_factor=settings.pool_factor,
+        )
+        surrogate_evaluator = make_evaluator(space)
+        surrogate = search(
+            space, surrogate_evaluator, settings.budget, seed=settings.seed,
+            prefilter=prefilter,
+        )
+
+        report.rows.append(
+            SurrogateStudyRow(
+                knob=knob_name,
+                pure=ArmOutcome(
+                    arm="pure",
+                    best_total=pure.best.score.total,
+                    best_label=pure.best.label,
+                    meets_slo=pure.best.score.meets_slo,
+                    calls=pure_evaluator.scenarios_submitted,
+                ),
+                surrogate=ArmOutcome(
+                    arm="surrogate",
+                    best_total=surrogate.best.score.total,
+                    best_label=surrogate.best.label,
+                    meets_slo=surrogate.best.score.meets_slo,
+                    calls=surrogate_evaluator.scenarios_submitted,
+                ),
+                train_calls=len(train_scenarios),
+                train_rows=corpus.n_rows,
+                scored=prefilter.scored,
+                verified=len(prefilter.verified),
+                mae_p99_us=prefilter.mae_p99_us(),
+                spearman_p99=prefilter.spearman_p99(),
+                fit=fit_metrics,
+            )
+        )
+    return report

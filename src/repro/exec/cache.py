@@ -102,11 +102,21 @@ class ResultCache:
         self.stats.hits += 1
         return entry["summary"]
 
-    def put(self, key: str, summary: ScenarioSummary) -> None:
-        """Store atomically; concurrent writers of the same key are safe."""
+    def put(self, key: str, summary: ScenarioSummary, scenario=None) -> None:
+        """Store atomically; concurrent writers of the same key are safe.
+
+        ``scenario`` (the :class:`~repro.core.config.Scenario` that
+        produced the summary) is stored alongside it when given, so the
+        entry doubles as surrogate training data
+        (:func:`repro.surrogate.corpus.load_corpus`). ``get`` ignores
+        the extra key, and entries written without it stay valid --
+        they just cannot be featurized.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"schema_version": SCHEMA_VERSION, "key": key, "summary": summary}
+        if scenario is not None:
+            entry["scenario"] = scenario
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".pkl.gz"
         )

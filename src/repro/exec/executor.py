@@ -337,7 +337,7 @@ class SweepExecutor:
                 note_busy(meta)
                 events += summary.events_processed
                 if self.cache is not None and keys[index] is not None:
-                    self.cache.put(keys[index], summary)
+                    self.cache.put(keys[index], summary, scenario=scenarios[index])
                 for slot in fanout:
                     results[slot] = summary
             else:

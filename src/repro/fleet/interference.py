@@ -76,15 +76,21 @@ class PairEffect:
     p99_ratio: float
     #: Multiplicative bandwidth retention, clamped to (0, 1].
     bandwidth_retention: float
+    #: True when the effect came from a surrogate predictor rather than
+    #: a measured pair scenario.
+    predicted: bool = False
 
     def to_json_dict(self) -> dict:
-        """Plain-dict form."""
-        return {
+        """Plain-dict form (``predicted`` only serialized when True)."""
+        doc = {
             "tenant": self.tenant,
             "partner": self.partner,
             "p99_ratio": self.p99_ratio,
             "bandwidth_retention": self.bandwidth_retention,
         }
+        if self.predicted:
+            doc["predicted"] = True
+        return doc
 
     @classmethod
     def from_json_dict(cls, doc: dict) -> "PairEffect":
@@ -263,20 +269,38 @@ class InterferenceMatrix:
         )
 
 
+def tenant_pairs(fleet: FleetSpec) -> list[tuple[TenantSpec, TenantSpec]]:
+    """Every unordered tenant pair, in tenant declaration order."""
+    tenants = fleet.tenants
+    return [
+        (first, second)
+        for i, first in enumerate(tenants)
+        for second in tenants[i + 1 :]
+    ]
+
+
 def matrix_scenarios(
-    fleet: FleetSpec, settings: MatrixSettings
+    fleet: FleetSpec,
+    settings: MatrixSettings,
+    measure_pairs: int | None = None,
 ) -> list[Scenario]:
-    """Every scenario the matrix needs: N solo runs + C(N,2) pair runs.
+    """Every scenario the matrix measures: N solo runs + pair runs.
 
     Ordered solo-first then pairs in tenant declaration order, so one
     :meth:`~repro.exec.executor.SweepExecutor.run_strict` call fans the
-    whole measurement out and results map back positionally.
+    whole measurement out and results map back positionally. With
+    ``measure_pairs`` set, only the first that many pairs are measured
+    (the rest are for a surrogate predictor to fill in).
     """
-    tenants = fleet.tenants
-    scenarios = [solo_scenario(fleet, tenant, settings) for tenant in tenants]
-    for i, first in enumerate(tenants):
-        for second in tenants[i + 1 :]:
-            scenarios.append(pair_scenario(fleet, first, second, settings))
+    pairs = tenant_pairs(fleet)
+    if measure_pairs is not None:
+        pairs = pairs[:measure_pairs]
+    scenarios = [
+        solo_scenario(fleet, tenant, settings) for tenant in fleet.tenants
+    ]
+    scenarios.extend(
+        pair_scenario(fleet, first, second, settings) for first, second in pairs
+    )
     return scenarios
 
 
@@ -284,17 +308,37 @@ def build_matrix(
     fleet: FleetSpec,
     settings: MatrixSettings,
     executor: SweepExecutor | None = None,
+    predictor=None,
+    measure_pairs: int | None = None,
 ) -> InterferenceMatrix:
-    """Measure the fleet's interference matrix.
+    """Measure (and optionally predict) the fleet's interference matrix.
 
     Runs :func:`matrix_scenarios` through the (cached, parallel) sweep
     executor, then derives solo baselines and directional pair effects.
     Deterministic: the same fleet + settings produce a bit-identical
     matrix at any worker count, and a warm cache executes nothing.
+
+    ``measure_pairs`` caps how many pairs (in declaration order) are
+    measured with real pair scenarios; the remainder are filled in by
+    ``predictor(first, second, solo) -> (effect_on_first,
+    effect_on_second)`` -- e.g. a
+    :class:`~repro.surrogate.predictor.SurrogatePairPredictor` -- whose
+    effects carry ``predicted=True``. Capping without a predictor is an
+    error: the matrix must stay complete.
     """
+    pairs = tenant_pairs(fleet)
+    measured = pairs if measure_pairs is None else pairs[:measure_pairs]
+    if len(measured) < len(pairs) and predictor is None:
+        raise ValueError(
+            f"measure_pairs={measure_pairs} leaves "
+            f"{len(pairs) - len(measured)} of {len(pairs)} pairs "
+            "unmeasured; pass predictor= to fill them in"
+        )
     runner = resolve_executor(executor)
     tenants = fleet.tenants
-    summaries = runner.run_strict(matrix_scenarios(fleet, settings))
+    summaries = runner.run_strict(
+        matrix_scenarios(fleet, settings, measure_pairs=measure_pairs)
+    )
 
     solo: dict[str, TenantMeasure] = {}
     for tenant, summary in zip(tenants, summaries[: len(tenants)]):
@@ -302,27 +346,31 @@ def build_matrix(
 
     effects: dict[tuple[str, str], PairEffect] = {}
     cursor = len(tenants)
-    for i, first in enumerate(tenants):
-        for second in tenants[i + 1 :]:
-            summary = summaries[cursor]
-            cursor += 1
-            for tenant, partner in ((first, second), (second, first)):
-                shared = measure_from_summary(summary, tenant.cgroup)
-                base = solo[tenant.name]
-                if base.p99_us > 0:
-                    ratio = max(1.0, shared.p99_us / base.p99_us)
-                else:
-                    ratio = 1.0
-                if base.bandwidth_mib_s > 0:
-                    retention = shared.bandwidth_mib_s / base.bandwidth_mib_s
-                    retention = max(1e-6, min(1.0, retention))
-                else:
-                    retention = 1.0
-                effects[(tenant.name, partner.name)] = PairEffect(
-                    tenant=tenant.name,
-                    partner=partner.name,
-                    p99_ratio=ratio,
-                    bandwidth_retention=retention,
-                )
+    for first, second in measured:
+        summary = summaries[cursor]
+        cursor += 1
+        for tenant, partner in ((first, second), (second, first)):
+            shared = measure_from_summary(summary, tenant.cgroup)
+            base = solo[tenant.name]
+            if base.p99_us > 0:
+                ratio = max(1.0, shared.p99_us / base.p99_us)
+            else:
+                ratio = 1.0
+            if base.bandwidth_mib_s > 0:
+                retention = shared.bandwidth_mib_s / base.bandwidth_mib_s
+                retention = max(1e-6, min(1.0, retention))
+            else:
+                retention = 1.0
+            effects[(tenant.name, partner.name)] = PairEffect(
+                tenant=tenant.name,
+                partner=partner.name,
+                p99_ratio=ratio,
+                bandwidth_retention=retention,
+            )
+
+    for first, second in pairs[len(measured):]:
+        effect_first, effect_second = predictor(first, second, solo)
+        effects[(first.name, second.name)] = effect_first
+        effects[(second.name, first.name)] = effect_second
 
     return InterferenceMatrix(fleet_name=fleet.name, solo=solo, effects=effects)

@@ -11,8 +11,11 @@ Subcommands mirror the benchmark suite::
     isol-bench table1 [--quick] [--workers N] [--no-cache]  # Table I
     isol-bench d5 [--quick|--mini] [--faults a,b]  # robustness ranking
     isol-bench tune --slo ... [--knob auto] [--budget N]  # SLO autotuner
+    isol-bench tune --surrogate[=auto|off|path] [--verify-top-k N]  # wider search
     isol-bench place [--fleet spec.json] [--strategy serifos]  # fleet placement
     isol-bench ctl [--mini] [--trace-out d.jsonl]  # D8 online control matrix
+    isol-bench d9 [--mini] [--json out.json]  # D9 surrogate-vs-pure study
+    isol-bench surrogate fit|eval|report     # model from the result cache
     isol-bench bench [--mini] [--compare]    # pinned perf suite + trajectory
     isol-bench cache stats|path|clear        # result-cache maintenance
 
@@ -372,6 +375,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.faults:
         get_fault_plan(args.faults)  # fail fast on typos, with the options list
         settings.fault_class = args.faults
+    settings.surrogate = args.surrogate
+    if args.verify_top_k is not None:
+        settings.verify_top_k = args.verify_top_k
     slo = resolve_slo(args.slo)
 
     with _build_executor(args) as executor:
@@ -529,6 +535,124 @@ def _cmd_ctl(args: argparse.Namespace) -> int:
             print(format_phase_table(result.profile))
     print(_sweep_stats_line(executor))
     print(_perf_line(stats.events_processed, stats.elapsed_seconds))
+    return 0
+
+
+def _cmd_d9(args: argparse.Namespace) -> int:
+    from repro.core.d9_surrogate import (
+        SurrogateStudySettings,
+        evaluate_surrogate_study,
+        mini_settings,
+        quick_settings,
+    )
+    from repro.tune.space import TUNABLE_KNOBS
+
+    if args.mini:
+        settings = mini_settings()
+    elif args.quick:
+        settings = quick_settings()
+    else:
+        settings = SurrogateStudySettings()
+    if args.knobs:
+        names = tuple(name.strip() for name in args.knobs.split(",") if name.strip())
+        unknown = set(names) - set(TUNABLE_KNOBS)
+        if unknown:
+            raise SystemExit(
+                f"unknown knobs: {sorted(unknown)}; options: {list(TUNABLE_KNOBS)}"
+            )
+        settings.knobs = names
+    if args.budget is not None:
+        settings.budget = args.budget
+    if args.train_budget is not None:
+        settings.train_budget = args.train_budget
+
+    with _build_executor(args) as executor:
+        report = evaluate_surrogate_study(settings, executor=executor)
+        stats = executor.stats
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote study JSON: {args.json}")
+    print(_sweep_stats_line(executor))
+    print(_perf_line(stats.events_processed, stats.elapsed_seconds))
+    return 0
+
+
+def _cmd_surrogate(args: argparse.Namespace) -> int:
+    from repro.core.report import render_table
+    from repro.surrogate import (
+        MIN_CORPUS_ROWS,
+        SurrogateModel,
+        evaluate_model,
+        fit_from_corpus,
+        holdout_split,
+        load_corpus,
+    )
+
+    corpus = load_corpus(args.cache_dir)
+    print(f"corpus: {corpus.stats} ({corpus.n_rows} rows)")
+
+    def _fit_metrics_table(model, corpus_for_eval, title: str) -> str:
+        X, y = corpus_for_eval.matrices()
+        metrics = evaluate_model(model, X, y)
+        rows = [
+            (target, f"{m['mae']:.3f}", f"{m['spearman']:.2f}")
+            for target, m in metrics.items()
+        ]
+        return render_table((title, "MAE", "spearman"), rows)
+
+    if args.action == "fit":
+        min_rows = args.min_rows if args.min_rows is not None else MIN_CORPUS_ROWS
+        if corpus.n_rows < min_rows:
+            raise SystemExit(
+                f"corpus has {corpus.n_rows} rows (< {min_rows} required); "
+                "run some sweeps first (e.g. isol-bench tune --mini)"
+            )
+        model = fit_from_corpus(corpus, seed=args.seed)
+        model.save(args.out)
+        print(f"fitted on {model.n_rows} rows; wrote model: {args.out}")
+        print(_fit_metrics_table(model, corpus, "train target"))
+        return 0
+
+    if args.action == "eval":
+        if args.model:
+            model = SurrogateModel.load(args.model)
+            print(f"loaded model: {args.model} ({model.n_rows} training rows)")
+            print(_fit_metrics_table(model, corpus, "corpus target"))
+            return 0
+        train, held = holdout_split(corpus, every=args.holdout_every)
+        if not held.rows or train.n_rows < 2:
+            raise SystemExit(
+                f"corpus has {corpus.n_rows} rows -- too few for a "
+                f"1-in-{args.holdout_every} held-out split"
+            )
+        model = fit_from_corpus(train, seed=args.seed)
+        print(
+            f"held-out eval: fit on {train.n_rows} rows, "
+            f"scored on {held.n_rows} held-out rows "
+            f"(every {args.holdout_every}th)"
+        )
+        print(_fit_metrics_table(model, held, "held-out target"))
+        return 0
+
+    # report: corpus provenance plus the saved model's shape, no fitting.
+    print(f"corpus digest: {corpus.digest()}")
+    print(
+        f"feature schema: v{corpus.feature_schema_version} "
+        f"({len(corpus.feature_names)} features)"
+    )
+    if args.model:
+        model = SurrogateModel.load(args.model)
+        config = model.config
+        print(
+            f"model: {args.model} rows={model.n_rows} "
+            f"targets={','.join(model.target_names)} "
+            f"members={config.n_members} rounds={config.n_rounds} "
+            f"depth={config.max_depth} lr={config.learning_rate}"
+        )
     return 0
 
 
@@ -750,6 +874,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(FAULT_CLASSES),
         help="tune under a fault class (robustness-aware recommendations)",
     )
+    p.add_argument(
+        "--surrogate",
+        nargs="?",
+        const="auto",
+        default="off",
+        help="surrogate-prefiltered search: 'auto' fits on the result cache "
+        "(falls back to pure search when the corpus is too small), a path "
+        "loads a saved model, 'off' disables (bare --surrogate means auto)",
+    )
+    p.add_argument(
+        "--verify-top-k",
+        type=int,
+        default=None,
+        help="simulator verifications per knob when the surrogate is on "
+        "(default: the budget)",
+    )
     p.add_argument("--quick", action="store_true", help="reduced effort level")
     p.add_argument(
         "--mini", action="store_true", help="smoke effort level (CI; seconds)"
@@ -832,6 +972,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(p)
     p.set_defaults(fn=_cmd_ctl)
+
+    p = sub.add_parser(
+        "d9",
+        help="D9: surrogate-prefiltered vs pure search, budget for budget",
+    )
+    p.add_argument("--quick", action="store_true", help="reduced effort level")
+    p.add_argument(
+        "--mini", action="store_true", help="smoke effort level (CI; seconds)"
+    )
+    p.add_argument(
+        "--knobs",
+        default=None,
+        help="comma-separated knob filter (default: effort level's set)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="simulator calls per arm per knob"
+    )
+    p.add_argument(
+        "--train-budget",
+        type=int,
+        default=None,
+        help="simulator calls spent training the surrogate per knob",
+    )
+    p.add_argument("--json", default=None, help="also write the study as JSON")
+    _add_executor_args(p)
+    p.set_defaults(fn=_cmd_d9)
+
+    p = sub.add_parser(
+        "surrogate",
+        help="fit, evaluate, or describe a surrogate model from the cache",
+    )
+    p.add_argument(
+        "action",
+        choices=("fit", "eval", "report"),
+        help="fit: train+save; eval: held-out (or saved-model) error; "
+        "report: corpus/model provenance",
+    )
+    p.add_argument(
+        "--out",
+        default="surrogate_model.json",
+        help="model output path for fit (default: surrogate_model.json)",
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        help="saved model to evaluate/describe instead of fitting fresh",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="corpus source (default: $ISOLBENCH_CACHE_DIR or .isolbench-cache/)",
+    )
+    p.add_argument("--seed", type=int, default=42, help="fit seed")
+    p.add_argument(
+        "--min-rows",
+        type=int,
+        default=None,
+        help="fewest corpus rows fit will accept (default: the auto threshold)",
+    )
+    p.add_argument(
+        "--holdout-every",
+        type=int,
+        default=4,
+        help="eval holds out every Nth corpus row (default 4)",
+    )
+    p.set_defaults(fn=_cmd_surrogate)
 
     p = sub.add_parser(
         "bench",

@@ -18,7 +18,13 @@ from repro.tune.advisor import (
     write_decision_trace,
 )
 from repro.tune.evaluator import Evaluation, TuneEvaluator
-from repro.tune.search import STRATEGIES, SearchOutcome, search
+from repro.tune.search import (
+    STRATEGIES,
+    SearchOutcome,
+    search,
+    surrogate_pool,
+    surrogate_search,
+)
 from repro.tune.slo import (
     GroupSlo,
     SloScore,
@@ -41,6 +47,8 @@ __all__ = [
     "STRATEGIES",
     "SearchOutcome",
     "search",
+    "surrogate_pool",
+    "surrogate_search",
     "GroupSlo",
     "SloScore",
     "SloSpec",

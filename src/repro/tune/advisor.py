@@ -41,6 +41,10 @@ class KnobAdvice:
     settings: str
     #: Every evaluation the search performed, in order.
     evaluations: list[Evaluation] = field(default_factory=list)
+    #: Surrogate trust report (``SurrogatePrefilter.to_json_dict``)
+    #: when this knob was searched surrogate-prefiltered; None for pure
+    #: simulator searches.
+    surrogate: dict | None = None
 
     @property
     def improved(self) -> bool:
@@ -49,7 +53,7 @@ class KnobAdvice:
 
     def to_json_dict(self) -> dict:
         """Golden-friendly document for one knob row."""
-        return {
+        doc = {
             "knob": self.knob,
             "strategy": self.strategy,
             "baseline_score": self.baseline.score.to_json_dict(),
@@ -60,6 +64,20 @@ class KnobAdvice:
             "improved": self.improved,
             "evaluations": len(self.evaluations),
         }
+        if self.surrogate is not None:
+            doc["surrogate"] = dict(self.surrogate)
+        return doc
+
+    def surrogate_stats_line(self) -> str | None:
+        """The per-knob ``surrogate: ...`` trust line (None when pure)."""
+        if self.surrogate is None:
+            return None
+        return (
+            f"surrogate[{self.knob}]: scored={self.surrogate['scored']} "
+            f"verified={self.surrogate['verified']} "
+            f"mae_p99={self.surrogate['mae_p99_us']:.1f}us "
+            f"spearman={self.surrogate['spearman_p99']:.2f}"
+        )
 
 
 @dataclass
@@ -71,6 +89,9 @@ class AdvisorReport:
     #: Per-search evaluation budget that produced the report.
     budget: int
     rows: list[KnobAdvice] = field(default_factory=list)
+    #: Operator-facing notices (e.g. the surrogate's too-small-corpus
+    #: fallback); empty for a plain run.
+    notices: list[str] = field(default_factory=list)
 
     def rank(self) -> list[KnobAdvice]:
         """Rows best-first: lowest tuned score, knob-name tie-break."""
@@ -88,6 +109,50 @@ class AdvisorReport:
             if candidate.knob == knob:
                 return candidate
         raise KeyError(f"no advice for knob {knob!r}")
+
+    def surrogate_summary(self) -> dict | None:
+        """Pooled surrogate trust metrics across every knob's search.
+
+        Per-knob verified sets are a handful of near-tie candidates, so
+        their rank correlations are noise; pooling every verified
+        ``(predicted, measured)`` p99 pair across knobs gives the
+        spread that makes MAE and spearman meaningful. None when no
+        knob was surrogate-prefiltered.
+        """
+        records = [
+            record
+            for row in self.rows
+            if row.surrogate is not None
+            for record in row.surrogate["records"]
+        ]
+        if not records:
+            return None
+        from repro.surrogate.model import mean_absolute_error, spearman
+
+        predicted = [record["predicted_p99_us"] for record in records]
+        measured = [record["measured_p99_us"] for record in records]
+        return {
+            "scored": sum(
+                row.surrogate["scored"]
+                for row in self.rows
+                if row.surrogate is not None
+            ),
+            "verified": len(records),
+            "mae_p99_us": mean_absolute_error(predicted, measured),
+            "spearman_p99": spearman(predicted, measured),
+        }
+
+    def surrogate_stats_line(self) -> str | None:
+        """The pooled ``surrogate: ...`` trust line (None for pure runs)."""
+        summary = self.surrogate_summary()
+        if summary is None:
+            return None
+        return (
+            f"surrogate: scored={summary['scored']} "
+            f"verified={summary['verified']} "
+            f"mae_p99={summary['mae_p99_us']:.1f}us "
+            f"spearman={summary['spearman_p99']:.2f}"
+        )
 
     def render(self) -> str:
         """The Table-I-style text report (the ``isol-bench tune`` output)."""
@@ -107,21 +172,38 @@ class AdvisorReport:
             )
         table = render_table(headers, rows, title=f"SLO: {self.slo}")
         winner = self.recommended()
+        extra_lines = [
+            line
+            for line in (row.surrogate_stats_line() for row in self.rank())
+            if line is not None
+        ]
+        pooled = self.surrogate_stats_line()
+        if pooled is not None:
+            extra_lines.append(pooled)
+        extra_lines.extend(f"notice: {notice}" for notice in self.notices)
+        extras = ("\n" + "\n".join(extra_lines)) if extra_lines else ""
         return (
             f"{table}\n\n"
             f"recommended: {winner.knob} ({winner.best.label})\n"
             f"settings:    {winner.settings}"
+            f"{extras}"
         )
 
     def to_json_dict(self) -> dict:
         """Golden-friendly document (insertion order is rank order)."""
-        return {
+        doc = {
             "slo": self.slo,
             "budget": self.budget,
             "ranking": [row.knob for row in self.rank()],
             "recommended": self.recommended().knob,
             "rows": {row.knob: row.to_json_dict() for row in self.rank()},
         }
+        summary = self.surrogate_summary()
+        if summary is not None:
+            doc["surrogate"] = summary
+        if self.notices:
+            doc["notices"] = list(self.notices)
+        return doc
 
 
 def advise(
@@ -130,6 +212,8 @@ def advise(
     budget: int,
     strategy: str = "auto",
     seed: int = 42,
+    prefilters: dict | None = None,
+    notices: list[str] | None = None,
 ) -> AdvisorReport:
     """Search every (space, evaluator) pair and rank the knobs.
 
@@ -138,12 +222,23 @@ def advise(
     candidates (one evaluator per space, so per-space evaluation logs
     stay separable). The untuned-default baseline evaluation is *not*
     counted against ``budget`` -- the budget buys search.
+
+    ``prefilters`` maps knob names to
+    :class:`~repro.surrogate.filter.SurrogatePrefilter` instances;
+    knobs with one are searched surrogate-prefiltered and their rows
+    carry the prefilter's trust report. ``notices`` seeds the report's
+    operator-facing notice list (e.g. a surrogate fallback).
     """
-    report = AdvisorReport(slo=slo.describe(), budget=budget)
+    report = AdvisorReport(
+        slo=slo.describe(), budget=budget, notices=list(notices or [])
+    )
+    prefilters = prefilters or {}
     for space, evaluator in searches:
         baseline = evaluator.evaluate_knob(space.default_knob(), "default")
+        prefilter = prefilters.get(space.name)
         outcome: SearchOutcome = search(
-            space, evaluator, budget, strategy=strategy, seed=seed
+            space, evaluator, budget, strategy=strategy, seed=seed,
+            prefilter=prefilter,
         )
         report.rows.append(
             KnobAdvice(
@@ -153,6 +248,7 @@ def advise(
                 best=outcome.best,
                 settings=space.render_settings(outcome.best.values),
                 evaluations=list(outcome.evaluations),
+                surrogate=prefilter.to_json_dict() if prefilter else None,
             )
         )
     return report
@@ -168,8 +264,17 @@ def decision_trace_records(report: AdvisorReport) -> list[dict]:
     records: list[dict] = [
         {"type": "slo", "spec": report.slo, "budget": report.budget}
     ]
+    for notice in report.notices:
+        records.append({"type": "notice", "message": notice})
+    summary = report.surrogate_summary()
+    if summary is not None:
+        records.append({"type": "surrogate_summary", **summary})
     for row in report.rank():
         records.append({"type": "advice", **row.to_json_dict()})
+        if row.surrogate is not None:
+            records.append(
+                {"type": "surrogate", "knob": row.knob, **row.surrogate}
+            )
         for evaluation in row.evaluations:
             records.append(
                 {

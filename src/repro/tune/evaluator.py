@@ -102,6 +102,21 @@ class TuneEvaluator:
             faults=self.faults,
         )
 
+    def scenario_for(
+        self, values: dict, label: str | None = None, fidelity: float = 1.0
+    ) -> Scenario:
+        """The exact scenario one assignment would run (no execution).
+
+        The surrogate prefilter featurizes this to score candidates
+        without simulating them, and the D9 training sweep renders its
+        corpus scenarios through it -- both therefore share cache keys
+        with real evaluations of the same assignment.
+        """
+        normalized = self.space.normalize(values)
+        if label is None:
+            label = self.space.label(normalized)
+        return self._scenario(self.space.build(normalized), label, fidelity)
+
     def _score(self, summary: ScenarioSummary) -> SloScore:
         """Score one summary against the evaluator's SLO spec."""
         return score_summary(self.slo, summary, ssd=self.ssd)

@@ -37,11 +37,14 @@ from dataclasses import dataclass, field
 
 from repro.sim.rng import RngStreams
 from repro.tune.evaluator import Evaluation
+from repro.tune.slo import VIOLATION_CAP
 from repro.tune.space import KnobSpace
 
 #: Strategy names accepted by :func:`search` (and the CLI's
 #: ``--strategy``); ``auto`` defers to the space's declared default.
-STRATEGIES = ("auto", "binary", "coordinate", "random", "grid")
+#: ``surrogate`` needs a fitted :class:`~repro.surrogate.filter.
+#: SurrogatePrefilter` passed as ``prefilter=``.
+STRATEGIES = ("auto", "binary", "coordinate", "random", "grid", "surrogate")
 
 #: Successive-halving rung fidelities (fractions of full run duration),
 #: shortest first. The final rung is always full fidelity so the best
@@ -231,17 +234,138 @@ def grid_search(space: KnobSpace, evaluator, budget: int) -> SearchOutcome:
     return outcome
 
 
+def surrogate_pool(space: KnobSpace, size: int, seed: int = 42) -> list[dict]:
+    """A deterministic wide candidate pool for surrogate prefiltering.
+
+    Construction order (deduped by label): the space default, dense
+    per-dimension grids around the default (one dimension varied at a
+    time), then seeded joint random samples from the dedicated
+    ``tune.surrogate.<space>`` RNG stream until ``size`` distinct
+    assignments exist (or the space is exhausted -- small discrete
+    spaces stop early).
+    """
+    if size < 1:
+        raise ValueError("pool size must be >= 1")
+    params = space.parameters()
+    defaults = space.default_values()
+    pool: list[dict] = []
+    seen: set[str] = set()
+
+    def admit(values: dict) -> None:
+        normalized = space.normalize(values)
+        label = space.label(normalized)
+        if label not in seen:
+            seen.add(label)
+            pool.append(normalized)
+
+    admit(defaults)
+    # Dense per-dimension sweeps: the axes pure strategies walk, but at
+    # grid resolution no simulator budget could afford. Capped to half
+    # the pool so joint random samples always get the other half --
+    # a model trained on one-dimension-at-a-time points alone never
+    # learns parameter interactions.
+    grid_points = max(4, min(32, math.ceil(size / max(1, 2 * len(params)))))
+    for param in params:
+        for point in param.grid(grid_points):
+            if len(pool) >= size:
+                break
+            admit({**defaults, param.name: point})
+    # Joint random fill: coverage of dimension interactions.
+    rng = RngStreams(seed).stream(f"tune.surrogate.{space.name}")
+    attempts = 0
+    while len(pool) < size and attempts < size * 20:
+        admit({param.name: param.sample(rng) for param in params})
+        attempts += 1
+    return pool
+
+
+def surrogate_search(
+    space: KnobSpace,
+    evaluator,
+    budget: int,
+    prefilter,
+    seed: int = 42,
+) -> SearchOutcome:
+    """Surrogate-prefiltered search: score a wide pool, verify top-k.
+
+    The pool is ``budget * prefilter.pool_factor`` distinct assignments
+    (orders of magnitude wider than any pure strategy's reach at the
+    same budget). The prefilter ranks the whole pool by *predicted* SLO
+    violation; the verified set is mostly the predicted best, plus up
+    to two deterministic quantile picks from deeper in the ranking
+    (without spread, every verified candidate is a near-tie and the
+    verified-set rank correlation the trust report relies on is
+    meaningless) and always the space default as a safety anchor.
+    Verification is one batched sweep through the real evaluator, and
+    every verified candidate's surrogate-vs-simulator error is logged
+    on the prefilter. Only *measured* scores compete for ``best``, so a
+    wrong surrogate can waste budget but never misreport a winner.
+    """
+    pool = surrogate_pool(space, budget * prefilter.pool_factor, seed=seed)
+    ranked = prefilter.rank(evaluator, pool)
+
+    n_explore = min(2, budget - 1) if budget >= 3 else 0
+    n_exploit = min(budget - n_explore, len(ranked))
+    selected = ranked[:n_exploit]
+    # Exploration skips candidates already predicted to bust the
+    # violation cap (e.g. predicted-starved configurations): they can
+    # never win, and their huge known-bad errors would swamp the
+    # verified-set MAE the trust report is built on.
+    tail = [
+        c for c in ranked[n_exploit:] if c.predicted_total < VIOLATION_CAP
+    ]
+    for j in range(min(n_explore, len(tail))):
+        index = ((j + 1) * (len(tail) - 1)) // (n_explore + 1)
+        candidate = tail[index]
+        if all(c.label != candidate.label for c in selected):
+            selected.append(candidate)
+    # Backfill from rank order when exploration found too few viable
+    # picks, so the verification budget is always fully spent.
+    for candidate in ranked:
+        if len(selected) >= budget:
+            break
+        if all(c.label != candidate.label for c in selected):
+            selected.append(candidate)
+    anchor_label = space.label(space.normalize(space.default_values()))
+    if len(selected) == budget and all(c.label != anchor_label for c in selected):
+        anchor = next((c for c in ranked if c.label == anchor_label), None)
+        if anchor is not None:
+            selected = selected[:-1] + [anchor]
+
+    evaluations = evaluator.evaluate_values([c.values for c in selected])
+    outcome = SearchOutcome(space=space.name, strategy="surrogate", best=None)  # type: ignore[arg-type]
+    for candidate, evaluation in zip(selected, evaluations):
+        prefilter.observe(candidate, evaluation)
+        outcome.evaluations.append(evaluation)
+        if _better(evaluation, outcome.best):
+            outcome.best = evaluation
+    return outcome
+
+
 def search(
     space: KnobSpace,
     evaluator,
     budget: int,
     strategy: str = "auto",
     seed: int = 42,
+    prefilter=None,
 ) -> SearchOutcome:
-    """Run one strategy (or the space's default) over one space."""
+    """Run one strategy (or the space's default) over one space.
+
+    ``prefilter`` (a :class:`~repro.surrogate.filter.SurrogatePrefilter`)
+    is required by -- and implies -- the ``surrogate`` strategy: passing
+    one overrides any other strategy choice, mirroring the CLI's
+    ``--surrogate`` flag layering on top of ``--strategy``.
+    """
     if budget < 1:
         raise ValueError("budget must be >= 1")
     resolved = space.default_strategy if strategy == "auto" else strategy
+    if prefilter is not None:
+        resolved = "surrogate"
+    if resolved == "surrogate":
+        if prefilter is None:
+            raise ValueError("the surrogate strategy needs a prefilter=")
+        return surrogate_search(space, evaluator, budget, prefilter, seed=seed)
     if resolved == "binary":
         return binary_search(space, evaluator, budget)
     if resolved == "coordinate":

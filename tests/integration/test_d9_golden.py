@@ -1,0 +1,142 @@
+"""Golden regression for the D9 surrogate-vs-pure tuning study.
+
+Mirrors ``test_d8_golden.py``: the ``mini`` study (the ``isol-bench d9
+--mini`` configuration) runs cold in tier-1 against
+``tests/data/d9_mini_golden.json``; the same module-scoped run doubles
+as the warm-cache proof (re-evaluating against the populated cache must
+execute zero scenarios) and the determinism bar (a 2-worker spawned
+sweep reproduces the study bit-identically).
+
+The *headline structure* is compared exactly — per-knob meets-or-beats
+verdicts, arm call counts, pool widths, and the winning labels.
+Dimensionful numbers (violation totals, MAE) carry tolerances that only
+absorb deliberate small re-calibrations.
+
+Regenerate after an intentional simulator change::
+
+    PYTHONPATH=src python -m tests.integration.test_d9_golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.d9_surrogate import evaluate_surrogate_study, mini_settings
+from repro.exec import ResultCache, SweepExecutor
+
+DATA_DIR = pathlib.Path(__file__).parent.parent / "data"
+MINI_GOLDEN = DATA_DIR / "d9_mini_golden.json"
+
+#: Relative tolerance for dimensionful cells (violation totals, MAE us).
+REL_TOL = 0.5
+#: Absolute slack for near-zero violation totals.
+ATOL = 0.05
+
+
+def assert_row_close(got: dict, want: dict, context: str) -> None:
+    # Structure is exact: verdicts, budgets, pool width, labels.
+    for name in ("knob", "meets_or_beats", "train_calls", "scored", "verified"):
+        assert got[name] == want[name], f"{context}.{name}"
+    for arm in ("pure", "surrogate"):
+        assert got[arm]["calls"] == want[arm]["calls"], f"{context}.{arm}.calls"
+        assert got[arm]["meets_slo"] == want[arm]["meets_slo"], (
+            f"{context}.{arm}.meets_slo"
+        )
+        assert got[arm]["best_total"] == pytest.approx(
+            want[arm]["best_total"], rel=REL_TOL, abs=ATOL
+        ), f"{context}.{arm}.best_total"
+    assert got["mae_p99_us"] == pytest.approx(
+        want["mae_p99_us"], rel=REL_TOL, abs=25.0
+    ), f"{context}.mae_p99_us"
+
+
+def assert_matches_golden(report, golden_path: pathlib.Path) -> None:
+    golden = json.loads(golden_path.read_text())
+    doc = report.to_json_dict()
+    assert doc["slo"] == golden["slo"]
+    assert doc["budget"] == golden["budget"]
+    assert doc["train_budget"] == golden["train_budget"]
+    assert doc["pool_factor"] == golden["pool_factor"]
+    assert doc["meets_or_beats_all"] == golden["meets_or_beats_all"]
+    assert sorted(doc["rows"]) == sorted(golden["rows"])
+    for knob, expected in golden["rows"].items():
+        assert_row_close(doc["rows"][knob], expected, knob)
+
+
+@pytest.fixture(scope="module")
+def mini_run(tmp_path_factory):
+    """One cold mini study against a fresh cache."""
+    cache_dir = tmp_path_factory.mktemp("d9-cache")
+    with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as executor:
+        report = evaluate_surrogate_study(mini_settings(), executor=executor)
+        stats = executor.stats
+    # Some hits happen even cold: the arms re-submit shared labels (the
+    # anchor default, training points the search pool re-proposes).
+    assert stats.executed > 0
+    return report, cache_dir, stats
+
+
+class TestMiniStudy:
+    def test_matches_golden(self, mini_run):
+        report, _, _ = mini_run
+        assert_matches_golden(report, MINI_GOLDEN)
+
+    def test_surrogate_meets_or_beats_pure_everywhere(self, mini_run):
+        """The acceptance bar: budget for budget, the surrogate arm never
+        finds a worse configuration than pure search."""
+        report, _, _ = mini_run
+        assert report.meets_or_beats_all(), report.render()
+
+    def test_budget_for_budget_accounting(self, mini_run):
+        """Both arms submit exactly the same number of scenarios, and the
+        surrogate arm considers >= 10x more candidates for that budget."""
+        report, _, _ = mini_run
+        for row in report.rows:
+            assert row.pure.calls == row.surrogate.calls == report.budget
+            assert row.widening >= 10.0, (
+                f"{row.knob}: widening {row.widening:.1f}x < 10x"
+            )
+
+    def test_training_fit_is_trustworthy(self, mini_run):
+        """The model must actually rank its own training corpus: p99
+        spearman >= 0.8 on every knob's training fit."""
+        report, _, _ = mini_run
+        for row in report.rows:
+            assert row.fit["p99_us"]["spearman"] >= 0.8, (
+                f"{row.knob}: train p99 spearman "
+                f"{row.fit['p99_us']['spearman']:.2f}"
+            )
+
+    def test_warm_cache_executes_zero_scenarios(self, mini_run):
+        report, cache_dir, cold_stats = mini_run
+        with SweepExecutor(max_workers=1, cache=ResultCache(cache_dir)) as warm:
+            rerun = evaluate_surrogate_study(mini_settings(), executor=warm)
+            assert warm.stats.executed == 0
+            assert warm.stats.failed == 0
+            assert warm.stats.cached == cold_stats.executed + cold_stats.cached
+        assert rerun.render() == report.render()
+        assert rerun.to_json_dict() == report.to_json_dict()
+
+    def test_two_worker_sweep_bit_identical_to_serial(self, mini_run):
+        """The determinism bar: --workers 2 vs serial, uncached."""
+        report, _, _ = mini_run
+        with SweepExecutor(max_workers=2) as pool:
+            parallel = evaluate_surrogate_study(mini_settings(), executor=pool)
+            assert pool.stats.executed > 0  # genuinely recomputed
+        assert parallel.to_json_dict() == report.to_json_dict()
+        assert parallel.render() == report.render()
+
+
+def _regenerate() -> None:
+    report = evaluate_surrogate_study(mini_settings())
+    MINI_GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    MINI_GOLDEN.write_text(
+        json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    print(report.render())
+    print(f"wrote {MINI_GOLDEN}")
+
+
+if __name__ == "__main__":
+    _regenerate()

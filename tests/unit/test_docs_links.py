@@ -84,6 +84,7 @@ def test_doc_files_present() -> None:
         "docs/profiling.md",
         "docs/fleet.md",
         "docs/control.md",
+        "docs/surrogate.md",
         "docs/api/obs.md",
         "docs/api/exec.md",
         "docs/api/faults.md",
@@ -91,6 +92,7 @@ def test_doc_files_present() -> None:
         "docs/api/prof.md",
         "docs/api/fleet.md",
         "docs/api/ctl.md",
+        "docs/api/surrogate.md",
         "README.md",
         "EXPERIMENTS.md",
     ):

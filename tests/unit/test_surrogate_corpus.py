@@ -1,0 +1,182 @@
+"""Unit tests: corpus loading is defensive, deterministic, and counted.
+
+The cache directory is shared, long-lived state, so the loader must
+survive anything it finds there: truncated gzip, pickle garbage,
+pre-v4 schema entries, and entries written before scenarios were
+stored. Each is counted and skipped, never fatal -- and when the
+survivors are too few, ``--surrogate=auto`` falls back to pure search
+with an explicit notice instead of fitting on noise.
+"""
+
+import gzip
+import pickle
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.config import NoneKnob, Scenario
+from repro.core.d6_autotune import mini_settings, resolve_surrogate_model
+from repro.exec.cache import ResultCache
+from repro.exec.summary import run_scenario_summary
+from repro.surrogate.corpus import (
+    MIN_CORPUS_ROWS,
+    corpus_from_pairs,
+    holdout_split,
+    load_corpus,
+    read_entry,
+)
+from repro.surrogate.features import scenario_cgroups
+from repro.workloads.spec import JobSpec
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """One real (scenario, summary) pair from a tiny simulated run."""
+    scenario = Scenario(
+        name="corpus-test",
+        knob=NoneKnob(),
+        apps=[
+            JobSpec(name="prio", cgroup_path="/t/prio", queue_depth=4, app_class="lc"),
+            JobSpec(name="be", cgroup_path="/t/be", queue_depth=8),
+        ],
+        duration_s=0.05,
+        warmup_s=0.01,
+        device_scale=16.0,
+    )
+    return scenario, run_scenario_summary(scenario)
+
+
+def seed_cache(tmp_path, pair, n: int = 3) -> ResultCache:
+    cache = ResultCache(tmp_path / "cache")
+    scenario, summary = pair
+    for i in range(n):
+        cache.put(f"{i:064x}", summary, scenario=scenario)
+    return cache
+
+
+class TestLoading:
+    def test_loads_rows_per_cgroup(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair, n=3)
+        corpus = load_corpus(cache.root)
+        groups = scenario_cgroups(pair[0])
+        assert corpus.stats.entries_seen == 3
+        assert corpus.stats.entries_loaded == 3
+        assert corpus.stats.skipped == 0
+        assert corpus.n_rows == 3 * len(groups)
+        assert [row.cgroup for row in corpus.rows[: len(groups)]] == groups
+
+    def test_missing_directory_is_empty_not_fatal(self, tmp_path):
+        corpus = load_corpus(tmp_path / "nope")
+        assert corpus.n_rows == 0
+        assert corpus.stats.entries_seen == 0
+
+    def test_deterministic_digest(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair)
+        assert load_corpus(cache.root).digest() == load_corpus(cache.root).digest()
+
+
+class TestDefensiveSkips:
+    def test_corrupt_entry_counted_not_fatal(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair, n=2)
+        good = cache.entries()[0]
+        truncated = good.parent / ("0" * 63 + "f.pkl.gz")
+        truncated.write_bytes(good.read_bytes()[:40])
+        garbage = good.parent / ("0" * 63 + "e.pkl.gz")
+        with gzip.open(garbage, "wb") as fh:
+            fh.write(b"not a pickle at all")
+        corpus = load_corpus(cache.root)
+        assert corpus.stats.skipped_corrupt == 2
+        assert corpus.stats.entries_loaded == 2
+        assert corpus.n_rows == 2 * len(scenario_cgroups(pair[0]))
+
+    def test_old_schema_entry_skipped(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair, n=1)
+        _, summary = pair
+        stale = cache.entries()[0].parent / ("0" * 63 + "d.pkl.gz")
+        with gzip.open(stale, "wb") as fh:
+            pickle.dump({"schema_version": 3, "summary": summary}, fh)
+        corpus = load_corpus(cache.root)
+        assert corpus.stats.skipped_schema == 1
+        assert corpus.stats.entries_loaded == 1
+
+    def test_pre_scenario_entry_skipped(self, tmp_path, pair):
+        scenario, summary = pair
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("0" * 64, summary)  # scenario not stored (old writer)
+        cache.put("1" * 64, summary, scenario=scenario)
+        corpus = load_corpus(cache.root)
+        assert corpus.stats.skipped_no_scenario == 1
+        assert corpus.stats.entries_loaded == 1
+
+    def test_read_entry_statuses(self, tmp_path, pair):
+        scenario, summary = pair
+        cache = seed_cache(tmp_path, pair, n=1)
+        assert read_entry(cache.entries()[0])[0] == "ok"
+        bad = tmp_path / "bad.pkl.gz"
+        bad.write_bytes(b"\x1f\x8b garbage")
+        assert read_entry(bad)[0] == "corrupt"
+
+    def test_stats_render_mentions_skips(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair, n=1)
+        (cache.entries()[0].parent / ("0" * 63 + "c.pkl.gz")).write_bytes(b"xx")
+        text = str(load_corpus(cache.root).stats)
+        assert "corrupt=1" in text
+
+
+class TestSplitsAndPairs:
+    def test_holdout_split_every_fourth(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair, n=6)
+        corpus = load_corpus(cache.root)
+        train, held = holdout_split(corpus, every=4)
+        assert train.n_rows + held.n_rows == corpus.n_rows
+        assert held.n_rows == corpus.n_rows // 4
+        assert held.rows == corpus.rows[3::4]
+        with pytest.raises(ValueError):
+            holdout_split(corpus, every=1)
+
+    def test_corpus_from_pairs_preserves_order(self, pair):
+        scenario, summary = pair
+        corpus = corpus_from_pairs([(scenario, summary), (scenario, summary)])
+        assert corpus.stats.entries_loaded == 2
+        assert corpus.n_rows == 2 * len(scenario_cgroups(scenario))
+
+
+class TestAutoFallback:
+    def test_small_corpus_falls_back_with_notice(self, tmp_path, pair):
+        cache = seed_cache(tmp_path, pair, n=2)  # 4 rows << MIN_CORPUS_ROWS
+        settings = mini_settings()
+        settings.surrogate = "auto"
+        executor = SimpleNamespace(cache=cache)
+        model, notices = resolve_surrogate_model(settings, executor)
+        assert model is None
+        assert len(notices) == 1
+        assert "falling back to pure simulator search" in notices[0]
+        assert f"< {MIN_CORPUS_ROWS} required" in notices[0]
+
+    def test_off_is_silent(self):
+        settings = mini_settings()
+        model, notices = resolve_surrogate_model(settings, None)
+        assert model is None and notices == []
+
+    def test_saved_model_path_loads(self, tmp_path, pair):
+        import numpy as np
+
+        from repro.surrogate.filter import fit_from_corpus
+        from repro.surrogate.model import SurrogateConfig
+
+        cache = seed_cache(tmp_path, pair, n=20)
+        corpus = load_corpus(cache.root)
+        model = fit_from_corpus(
+            corpus, config=SurrogateConfig(n_members=2, n_rounds=5)
+        )
+        path = tmp_path / "model.json"
+        model.save(path)
+        settings = mini_settings()
+        settings.surrogate = str(path)
+        loaded, notices = resolve_surrogate_model(settings, None)
+        assert notices == []
+        assert loaded.n_rows == corpus.n_rows
+        X, _ = corpus.matrices()
+        np.testing.assert_array_equal(
+            loaded.predict(X)[0], model.predict(X)[0]
+        )
